@@ -1,0 +1,50 @@
+"""Ablation: eager/rendezvous threshold vs. skew propagation.
+
+With a late receiver, eager senders fire and forget while rendezvous
+senders stall on the handshake.  Sweeping the threshold across the message
+size verifies the first-order mechanism: the *sender's* completion time
+under a delayed receiver jumps once the protocol switches to rendezvous.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sim.mpi import run_processes
+from repro.sim.network import NetworkParams
+from repro.sim.platform import Platform
+
+_MSG = 16384
+_DELAY = 10e-3
+
+
+def _sender_finish(eager_threshold: int) -> float:
+    plat = Platform("t", nodes=2, cores_per_node=2)
+    params = dataclasses.replace(NetworkParams(), eager_threshold=eager_threshold)
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(2, nbytes=_MSG)  # inter-node
+            return ctx.time()
+        if ctx.rank == 2:
+            yield ctx.sleep(_DELAY)
+            yield from ctx.recv(0)
+        return None
+
+    return run_processes(plat, prog, params=params).rank_results[0]
+
+
+def bench_eager_threshold_ablation(run_once):
+    thresholds = [1024, 8192, 16384, 65536]
+
+    def sweep():
+        return {t: _sender_finish(t) for t in thresholds}
+
+    finishes = run_once(sweep)
+    print("eager_threshold -> sender completion time:", finishes)
+    # Below the message size: rendezvous, sender stalls ~the receiver delay.
+    assert finishes[1024] >= _DELAY
+    assert finishes[8192] >= _DELAY
+    # At/above the message size: eager, sender finishes immediately.
+    assert finishes[16384] < _DELAY / 100
+    assert finishes[65536] < _DELAY / 100

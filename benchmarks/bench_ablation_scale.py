@@ -1,0 +1,34 @@
+"""Ablation: stability of the qualitative findings across simulation scales.
+
+DESIGN.md argues the paper's claims are structural and survive scaling the
+1024-rank experiments down.  This bench runs the Fig. 4 Reduce analysis at
+two scales and checks the headline outcome (pattern-dependent winners with
+sizable wins) holds at both.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig4_simulation
+from repro.experiments.common import ExperimentConfig
+
+
+def _mismatch_summary(nodes: int, cores: int) -> tuple[int, float]:
+    config = ExperimentConfig(
+        machine="simcluster", nodes=nodes, cores_per_node=cores, fast=True
+    )
+    result = fig4_simulation.run(config, collective="reduce")
+    mismatches = result.mismatch_cells()
+    best = min((rel for *_x, rel in mismatches), default=1.0)
+    return len(mismatches), best
+
+
+def bench_scale_stability(run_once):
+    def sweep():
+        return {p: _mismatch_summary(nodes, cores)
+                for p, (nodes, cores) in {16: (4, 4), 64: (16, 4)}.items()}
+
+    out = run_once(sweep)
+    print("ranks -> (winner flips, strongest relative win):", out)
+    for p, (flips, best) in out.items():
+        assert flips > 0, f"no pattern sensitivity at {p} ranks"
+        assert best < 0.9, f"weak wins at {p} ranks: {best:.2f}"

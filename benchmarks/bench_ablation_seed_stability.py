@@ -1,0 +1,58 @@
+"""Ablation: how do the application-study conclusions vary with the noise seed?
+
+Fig. 8's selection story depends on stochastic machine noise (via the FT
+trace).  This ablation reruns the galileo100 analysis for several seeds and
+records, per seed, how far each strategy's pick is from the scenario-best
+d^.  The assertable facts at this scale:
+
+* neither strategy is ever catastrophic (both stay within 30 % of the
+  oracle for every seed), and
+* the paper's phenomenon — the No-delay pick losing while the robust pick
+  is scenario-optimal — occurs for some seeds (it is machine- and
+  seed-dependent, exactly as the paper observes across its three machines).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig8_normalized
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig8_normalized import FT_SCENARIO
+
+SEEDS = (0, 1, 2, 3)
+
+
+def bench_seed_stability(run_once):
+    def sweep_seeds():
+        out = {}
+        for seed in SEEDS:
+            # Full shape set: the strategy's averaging needs all 8 patterns.
+            config = ExperimentConfig(nodes=8, cores_per_node=4, seed=seed)
+            result = fig8_normalized.run(config, machines=("galileo100",))
+            mres = result.machines["galileo100"]
+            row = mres.sweep.row(FT_SCENARIO)
+            best = min(row.values())
+            out[seed] = {
+                "robust_rel": row[mres.predicted_best()] / best,
+                "no_delay_rel": row[mres.sweep.best_algorithm("no_delay")] / best,
+            }
+        return out
+
+    outcomes = run_once(sweep_seeds)
+    print("seed -> {robust_rel, no_delay_rel} (1.0 = scenario-optimal):")
+    for seed, vals in outcomes.items():
+        print(f"  seed {seed}: robust {vals['robust_rel']:.3f}  "
+              f"no-delay {vals['no_delay_rel']:.3f}")
+    robust = [v["robust_rel"] for v in outcomes.values()]
+    no_delay = [v["no_delay_rel"] for v in outcomes.values()]
+    assert max(robust) <= 1.30, "robust pick must never be a bad choice"
+    assert max(no_delay) <= 1.30, "no-delay pick must never be a bad choice"
+    paper_phenomenon = sum(
+        1 for v in outcomes.values()
+        if v["no_delay_rel"] > 1.04 and v["robust_rel"] <= 1.01
+    )
+    assert paper_phenomenon >= 1, (
+        "at least one seed must show the paper's story: No-delay misses "
+        "while the robust pick is scenario-optimal"
+    )

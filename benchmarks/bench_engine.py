@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These track the engine's throughput (simulated messages per second of wall
+time) and the cost of the clock-sync stack — useful when tuning the DES hot
+paths, and a regression guard for the experiment suite's overall runtime.
+"""
+
+from __future__ import annotations
+
+from repro.clocks import ClockSet
+from repro.clocks.sync import sync_clocks
+from repro.collectives import CollArgs, make_input, run_collective
+from repro.sim.mpi import run_processes
+from repro.sim.platform import Platform
+
+
+def bench_engine_alltoall_throughput(benchmark):
+    """Simulate a 64-rank linear Alltoall (~4k messages) repeatedly."""
+    plat = Platform("t", nodes=16, cores_per_node=4)
+    p = plat.num_ranks
+    args = CollArgs(count=8, msg_bytes=1024.0)
+    inputs = [make_input("alltoall", r, p, 8) for r in range(p)]
+
+    def prog(ctx):
+        yield from run_collective(ctx, "alltoall", "basic_linear", args, inputs[ctx.rank])
+
+    def job():
+        return run_processes(plat, prog)
+
+    result = benchmark(job)
+    assert result.events_processed > p * (p - 1)
+
+
+def bench_engine_tree_collective_throughput(benchmark):
+    """A 256-rank binomial broadcast — deep-tree scheduling pressure."""
+    plat = Platform("t", nodes=32, cores_per_node=8)
+    p = plat.num_ranks
+    args = CollArgs(count=4, msg_bytes=8.0)
+    inputs = [make_input("bcast", r, p, 4) for r in range(p)]
+
+    def prog(ctx):
+        yield from run_collective(ctx, "bcast", "binomial", args, inputs[ctx.rank])
+
+    def job():
+        return run_processes(plat, prog)
+
+    result = benchmark(job)
+    assert result.final_time > 0
+
+
+def bench_clock_sync_cost(benchmark):
+    """Full hierarchical clock sync on 32 ranks."""
+    plat = Platform("t", nodes=8, cores_per_node=4)
+    clockset = ClockSet(plat.num_ranks, seed=1)
+
+    def prog(ctx):
+        corr = yield from sync_clocks(ctx, clockset[ctx.rank])
+        return corr
+
+    def job():
+        return run_processes(plat, prog)
+
+    result = benchmark(job)
+    assert all(c is not None for c in result.rank_results)

@@ -1,0 +1,22 @@
+"""Bench: the all-families sensitivity extension.
+
+Shape claim (paper Section III): rooted collectives are on average more
+arrival-pattern sensitive than non-rooted ones, with Reduce the most
+sensitive and Allreduce (fully synchronizing reduction) the most robust.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_all_families
+from repro.experiments.common import ExperimentConfig
+
+
+def bench_ext_all_families(run_once):
+    config = ExperimentConfig(machine="simcluster", nodes=8, cores_per_node=4)
+    result = run_once(ext_all_families.run, config)
+    print(ext_all_families.report(result))
+    assert result.rooted_mean_flip_fraction() > result.nonrooted_mean_flip_fraction()
+    assert result.families["allreduce"].flip_fraction == 0.0
+    assert result.families["reduce"].flip_fraction == max(
+        f.flip_fraction for f in result.families.values()
+    )

@@ -1,0 +1,12 @@
+"""Bench: clock-sync accuracy extension (the paper's sub-microsecond claim)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_clock_accuracy
+
+
+def bench_ext_clock_accuracy(bench_config, run_once):
+    result = run_once(ext_clock_accuracy.run, bench_config)
+    print(ext_clock_accuracy.report(result))
+    assert result.worst_benchmark_error() < 1e-6
+    assert result.worst_initial_error() < result.worst_aged_error()

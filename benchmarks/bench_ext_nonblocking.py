@@ -1,0 +1,19 @@
+"""Bench: the non-blocking-collectives extension (Widener-style question).
+
+Shape claims: overlap yields a clear benefit for the bandwidth-bound
+workload, and runtimes grow with the noise level in the blocking variant.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_nonblocking
+
+
+def bench_ext_nonblocking(bench_config, run_once):
+    result = run_once(ext_nonblocking.run, bench_config)
+    print(ext_nonblocking.report(result))
+    assert result.benefit("large_alltoall", "none") > 0.05
+    # Noise slows the blocking variant monotonically (none <= mod <= noisy).
+    blocking = [result.cells[("large_alltoall", n)][0]
+                for n in ext_nonblocking.NOISE_LEVELS]
+    assert blocking[0] <= blocking[1] <= blocking[2]

@@ -1,0 +1,23 @@
+"""Bench: the extension experiment — four selection regimes on the FT proxy.
+
+Shape claims: measurement-based tuning (either flavour) beats the library's
+fixed decision rules, and the paper's robustness-tuned pick is never far
+from the best regime — it is the *safe* choice even when the No-delay pick
+happens to win on a particular machine/seed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ext_selection_comparison
+
+
+def bench_ext_selection(bench_config, run_once):
+    result = run_once(ext_selection_comparison.run, bench_config)
+    print(ext_selection_comparison.report(result))
+    runtimes = {regime: rt for regime, (_a, rt) in result.regimes.items()}
+    robust = runtimes["robust tuned (paper)"]
+    default = runtimes["library default (fixed rules)"]
+    best = min(runtimes.values())
+    assert robust <= default * 1.02, "robust tuning should not lose to the fixed rules"
+    assert robust <= best * 1.15, "robust tuning should stay near the best regime"
+    assert len(result.regimes) == 4

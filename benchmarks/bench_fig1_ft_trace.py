@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 1 — FT's traced Alltoall arrival-delay profile."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig1_ft_trace
+
+
+def bench_fig1(bench_config, run_once):
+    result = run_once(fig1_ft_trace.run, bench_config.with_machine("galileo100"))
+    print(fig1_ft_trace.report(result))
+    # Shape claim: the average delay is non-uniform across ranks.
+    delays = result.avg_delay_per_rank
+    assert delays.max() > 0
+    assert np.std(delays) > 0.02 * delays.max()
+    assert result.calls_traced > 0

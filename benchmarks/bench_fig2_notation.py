@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 2 — arrival/exit notation example and the two metrics."""
+
+from __future__ import annotations
+
+from repro.experiments import fig2_notation
+
+
+def bench_fig2(bench_config, run_once):
+    result = run_once(fig2_notation.run, bench_config)
+    print(fig2_notation.report(result))
+    timing = result.timing
+    # d* includes the externally imposed skew; d^ does not.
+    assert timing.total_delay >= timing.last_delay
+    assert timing.arrival_spread > 0

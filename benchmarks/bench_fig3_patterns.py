@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 3 — the eight artificial arrival-pattern shapes."""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_patterns
+
+
+def bench_fig3(bench_config, run_once):
+    result = run_once(fig3_patterns.run, bench_config)
+    print(fig3_patterns.report(result))
+    assert len(result.patterns) == 8
+    for shape, skews in result.patterns.items():
+        assert skews.max() == result.max_skew, shape
+        assert (skews >= 0).all()

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 4b — simulated Allreduce under arrival patterns.
+
+Shape claim: Allreduce is robust — its reduction step synchronizes, so the
+No-delay winner stays (near-)optimal under most patterns (the paper finds
+only limited absorption at medium sizes).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig4_simulation
+
+
+def bench_fig4_allreduce(full_sim_config, run_once):
+    result = run_once(fig4_simulation.run, full_sim_config, "allreduce")
+    print(fig4_simulation.report(result))
+    cells = len(result.msg_sizes) * len(result.shapes)
+    mismatches = result.mismatch_cells()
+    assert len(mismatches) <= cells // 4, (
+        f"Allreduce should be mostly robust; {len(mismatches)}/{cells} cells flipped"
+    )

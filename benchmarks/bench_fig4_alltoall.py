@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig. 4c — simulated Alltoall under arrival patterns.
+
+Shape claims: Bruck wins the No-delay case for small messages (its
+latency-optimal log-round structure) but loses that advantage for larger
+messages, where linear-style algorithms win on bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig4_simulation
+from repro.patterns.shapes import NO_DELAY
+
+
+def bench_fig4_alltoall(full_sim_config, run_once):
+    result = run_once(fig4_simulation.run, full_sim_config, "alltoall")
+    print(fig4_simulation.report(result))
+    small = min(result.msg_sizes)
+    large = max(result.msg_sizes)
+    assert result.sweeps[small].best_algorithm(NO_DELAY) == "bruck"
+    assert result.sweeps[large].best_algorithm(NO_DELAY) != "bruck"
+    # Bruck's advantage margin shrinks under skewed patterns at small sizes.
+    sweep = result.sweeps[small]
+    nd_row = sweep.row(NO_DELAY)
+    margins_nd = nd_row["basic_linear"] / nd_row["bruck"]
+    skewed = [
+        sweep.row(shape)["basic_linear"] / sweep.row(shape)["bruck"]
+        for shape in result.shapes
+    ]
+    assert min(skewed) < margins_nd * 1.001

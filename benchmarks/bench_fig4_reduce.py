@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 4a — simulated Reduce, best algorithm per pattern x size.
+
+Shape claims checked: the No-delay winner is not globally optimal; under at
+least one arrival pattern a different algorithm wins by a sizable margin
+(the paper's headline example: in-order-binary-style trees absorb a delayed
+last rank that breaks binomial's first round).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig4_simulation
+from repro.patterns.shapes import NO_DELAY
+
+
+def bench_fig4_reduce(full_sim_config, run_once):
+    result = run_once(fig4_simulation.run, full_sim_config, "reduce")
+    print(fig4_simulation.report(result))
+    mismatches = result.mismatch_cells()
+    assert len(mismatches) > 0, "Reduce must be arrival-pattern sensitive"
+    best_gain = min(rel for *_x, rel in mismatches)
+    assert best_gain < 0.8, f"expected a >20% win somewhere, best was {best_gain:.2f}"
+    # The winner changes across message sizes even in the No-delay row.
+    nd_winners = {result.sweeps[s].best_algorithm(NO_DELAY) for s in result.msg_sizes}
+    assert len(nd_winners) >= 2

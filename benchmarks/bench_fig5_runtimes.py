@@ -1,0 +1,56 @@
+"""Bench: regenerate Fig. 5 — per-pattern runtimes with 5%-of-best classification.
+
+One bench per collective (the paper's Fig. 5a/b/c).  Shape claims: for
+Reduce the good-set changes across patterns; for Allreduce it is far more
+stable (the paper's robustness finding).
+"""
+
+from __future__ import annotations
+
+from repro.bench.robustness import good_algorithms
+from repro.experiments import fig5_runtimes
+from repro.patterns.shapes import NO_DELAY
+
+
+def _good_sets(result):
+    sets = {}
+    for size in result.msg_sizes:
+        sweep = result.sweeps[size]
+        for pattern in [NO_DELAY] + result.shapes:
+            sets[(size, pattern)] = frozenset(good_algorithms(sweep.row(pattern)))
+    return sets
+
+
+def bench_fig5_reduce(bench_config, run_once):
+    result = run_once(fig5_runtimes.run, bench_config, "reduce")
+    print(fig5_runtimes.report(result))
+    sets = _good_sets(result)
+    # The set of good algorithms is pattern-dependent for some size.
+    assert any(
+        sets[(size, NO_DELAY)] != sets[(size, shape)]
+        for size in result.msg_sizes
+        for shape in result.shapes
+    )
+
+
+def bench_fig5_allreduce(bench_config, run_once):
+    result = run_once(fig5_runtimes.run, bench_config, "allreduce")
+    print(fig5_runtimes.report(result))
+    # Robustness: the No-delay fastest stays good under most patterns.
+    stable = 0
+    total = 0
+    for size in result.msg_sizes:
+        sweep = result.sweeps[size]
+        nd_best = sweep.best_algorithm(NO_DELAY)
+        for shape in result.shapes:
+            total += 1
+            if nd_best in good_algorithms(sweep.row(shape), tolerance=0.25):
+                stable += 1
+    assert stable >= total // 2, f"allreduce unstable: {stable}/{total}"
+
+
+def bench_fig5_alltoall(bench_config, run_once):
+    result = run_once(fig5_runtimes.run, bench_config, "alltoall")
+    print(fig5_runtimes.report(result))
+    sets = _good_sets(result)
+    assert len(set(sets.values())) > 1  # classification varies somewhere

@@ -1,0 +1,39 @@
+"""Bench: regenerate Fig. 6 — robustness heatmaps with +-25% classification.
+
+Shape claims: for Reduce, many algorithms *absorb* skew (green cells
+dominate red, the paper's "most MPI_Reduce algorithms are robust"); the
+classification spans more than one class overall.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_robustness
+
+
+def bench_fig6_reduce(bench_config, run_once):
+    result = run_once(fig6_robustness.run, bench_config, "reduce")
+    print(fig6_robustness.report(result))
+    greens = sum(result.counts(s)["faster"] for s in result.msg_sizes)
+    reds = sum(result.counts(s)["slower"] for s in result.msg_sizes)
+    assert greens >= reds, f"expected absorption to dominate: G={greens} R={reds}"
+
+
+def bench_fig6_allreduce(bench_config, run_once):
+    result = run_once(fig6_robustness.run, bench_config, "allreduce")
+    print(fig6_robustness.report(result))
+    # Values are sane: d^ never negative -> normalized > -1.
+    for size in result.msg_sizes:
+        for shape in result.shapes:
+            for algo in result.algorithms:
+                assert result.normalized(size, shape, algo) > -1.0
+
+
+def bench_fig6_alltoall(bench_config, run_once):
+    result = run_once(fig6_robustness.run, bench_config, "alltoall")
+    print(fig6_robustness.report(result))
+    counts = {k: sum(result.counts(s)[k] for s in result.msg_sizes)
+              for k in ("faster", "neutral", "slower")}
+    assert sum(counts.values()) > 0
+    assert counts["neutral"] < sum(counts.values()), (
+        "alltoall should show significant pattern effects at some size"
+    )

@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 7 — FT runtime vs. the No-delay Alltoall micro-benchmark.
+
+Shape claims (the paper's): runtime *ratios* between algorithms compress
+inside the application relative to the micro-benchmark, and on at least one
+machine the micro-benchmark ranking disagrees with the FT ranking.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_ft_vs_micro
+
+
+def bench_fig7(bench_config, run_once):
+    result = run_once(
+        fig7_ft_vs_micro.run, bench_config,
+        ("hydra", "galileo100", "discoverer"), 1,
+    )
+    print(fig7_ft_vs_micro.report(result))
+    disagreements = sum(
+        not mres.rankings_agree for mres in result.machines.values()
+    )
+    assert disagreements >= 1, "expected a micro-vs-FT ranking flip on some machine"
+    # Ratio compression: micro spread exceeds in-app spread on every machine.
+    for mres in result.machines.values():
+        micro_spread = max(mres.micro_delay.values()) / min(mres.micro_delay.values())
+        ft_spread = max(mres.ft_runtime.values()) / min(mres.ft_runtime.values())
+        assert ft_spread < micro_spread

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 9 — actual vs. projected FT runtime.
+
+Shape claims: projections exceed pure compute; both projection styles land
+within sane bounds; and for the skew-sensitive algorithm the paper singles
+out (pairwise / Algorithm 2), the pattern-average projection is at least as
+accurate as the No-delay projection.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig9_prediction
+
+
+def bench_fig9(bench_config, run_once):
+    result = run_once(fig9_prediction.run, bench_config)
+    print(fig9_prediction.report(result))
+    assert result.compute_time > 0
+    nd_err = result.error(result.predicted_no_delay)
+    avg_err = result.error(result.predicted_average)
+    for algo in result.actual:
+        assert result.predicted_no_delay[algo] > result.compute_time
+        assert nd_err[algo] < 1.0 and avg_err[algo] < 1.0
+    assert avg_err["pairwise"] <= nd_err["pairwise"] * 1.25

@@ -1,0 +1,21 @@
+"""Bench: regenerate Tables I and II."""
+
+from __future__ import annotations
+
+from repro.experiments import tables
+
+
+def bench_table1(run_once):
+    text = run_once(tables.table1)
+    print(text)
+    for machine in ("hydra", "galileo100", "discoverer", "simcluster"):
+        assert machine in text
+
+
+def bench_table2(run_once):
+    text = run_once(tables.table2)
+    print(text)
+    # Spot-check paper Table II IDs.
+    assert "alltoall    3   bruck" in text.replace("  ", "  ") or "bruck" in text
+    assert "in_order_binary" in text
+    assert "rabenseifner" in text

@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``bench_figN_*`` benchmark regenerates one of the paper's figures at a
+reduced-but-representative scale and *asserts its shape-level claim* — so a
+green benchmark run doubles as a reproduction check.  Experiment drivers are
+deterministic, so one round suffices; ``run_once`` wraps
+``benchmark.pedantic`` accordingly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+#: The standard benchmark scale: 8 nodes x 4 cores = 32 ranks.
+BENCH_NODES = 8
+BENCH_CORES = 4
+
+
+@pytest.fixture
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(nodes=BENCH_NODES, cores_per_node=BENCH_CORES, fast=True)
+
+
+@pytest.fixture
+def sim_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        machine="simcluster", nodes=BENCH_NODES, cores_per_node=BENCH_CORES, fast=True
+    )
+
+
+@pytest.fixture
+def full_sim_config() -> ExperimentConfig:
+    """All 8 shapes and the full size sweep (slower; used by the fig4 benches)."""
+    return ExperimentConfig(
+        machine="simcluster", nodes=BENCH_NODES, cores_per_node=BENCH_CORES, fast=False
+    )
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a deterministic experiment exactly once under pytest-benchmark."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Compare arrival-pattern sensitivity across the three machine analogues.
+
+For each machine preset (Hydra / Galileo100 / Discoverer) this example runs
+the Alltoall pattern sweep at FT's message size and reports:
+
+* the No-delay winner vs. the robustness-average winner,
+* each algorithm's worst-case normalized slowdown across patterns,
+* whether classic tuning would have picked a fragile algorithm.
+
+This is the "selection logic should not rely solely on time-synchronized
+micro-benchmarking" argument of the paper, machine by machine.
+
+Run:  python examples/cluster_comparison.py
+"""
+
+from repro.apps.ft import FT_MSG_BYTES
+from repro.bench import MicroBenchmark, sweep_shared_skew
+from repro.bench.robustness import average_normalized, normalize_rows
+from repro.patterns import list_shapes
+from repro.reporting import render_table
+from repro.selection import NoDelaySelector, RobustAverageSelector
+from repro.sim.platform import get_machine
+
+MACHINES = ("hydra", "galileo100", "discoverer")
+ALGORITHMS = ["basic_linear", "pairwise", "bruck", "linear_sync"]
+NODES, CORES = 8, 4
+
+
+def main() -> None:
+    rows = []
+    for machine in MACHINES:
+        bench = MicroBenchmark.from_machine(
+            get_machine(machine), nodes=NODES, cores_per_node=CORES, nrep=2
+        )
+        sweep = sweep_shared_skew(
+            bench, "alltoall", ALGORITHMS, FT_MSG_BYTES, list_shapes(),
+            skew_factor=1.0,
+        )
+        nd_pick = NoDelaySelector().select(sweep)
+        robust_pick = RobustAverageSelector().select(sweep)
+        table = {p: sweep.row(p) for p in sweep.patterns}
+        normalized = normalize_rows(table)
+        worst = {
+            algo: max(normalized[p][algo] for p in normalized)
+            for algo in ALGORITHMS
+        }
+        avg = average_normalized(table)
+        rows.append([
+            machine,
+            f"{nd_pick} (worst {worst[nd_pick]:.2f}x)",
+            f"{robust_pick} (worst {worst[robust_pick]:.2f}x)",
+            f"{avg[robust_pick]:.2f} vs {avg[nd_pick]:.2f}",
+            "yes" if nd_pick != robust_pick else "no",
+        ])
+    print(render_table(
+        ["machine", "No-delay pick", "robust pick",
+         "avg-normalized (robust vs ND)", "classic tuning fragile?"],
+        rows,
+        title=f"Alltoall selection at {int(FT_MSG_BYTES)} B, "
+        f"{NODES * CORES} ranks",
+    ))
+
+
+if __name__ == "__main__":
+    main()

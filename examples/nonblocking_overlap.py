@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Non-blocking collectives: hiding communication behind compute under noise.
+
+The paper's related work (Widener et al.) asks whether non-blocking
+collectives mitigate noise-induced process imbalance.  This example runs a
+double-buffered iterative loop —
+
+    start Iallreduce(iteration k) -> compute -> wait(iteration k-1)
+
+against the plain blocking loop, across noise intensities and compute/
+communication ratios, using the simulator's progress fibers (a perfectly
+progressing MPI, Widener's idealized model).
+
+Run:  python examples/nonblocking_overlap.py
+"""
+
+from repro.collectives import CollArgs, make_input, run_collective
+from repro.collectives.nonblocking import icollective, wait_collective
+from repro.reporting import render_table
+from repro.sim.mpi import run_processes
+from repro.sim.network import NetworkParams
+from repro.sim.noise import NoiseModel
+from repro.sim.platform import get_machine
+
+MACHINE = "hydra"
+NODES, CORES = 8, 4
+ITERATIONS = 12
+MSG_BYTES = 1 << 20  # 1 MiB Allreduce
+
+
+def run_loop(platform, params, noise, compute, nonblocking: bool) -> float:
+    p = platform.num_ranks
+    args = CollArgs(count=64, msg_bytes=float(MSG_BYTES))
+    inputs = [make_input("allreduce", r, p, 64) for r in range(p)]
+
+    def prog(ctx):
+        me = ctx.rank
+        yield from ctx.barrier()
+        start = ctx.time()
+        if nonblocking:
+            handle = None
+            for it in range(ITERATIONS):
+                nxt = icollective(ctx, "allreduce", "ring", args, inputs[me],
+                                  tag_offset=it % 2)
+                yield ctx.compute(compute)
+                if handle is not None:
+                    yield from wait_collective(ctx, handle)
+                handle = nxt
+            yield from wait_collective(ctx, handle)
+        else:
+            for _it in range(ITERATIONS):
+                yield ctx.compute(compute)
+                yield from run_collective(ctx, "allreduce", "ring", args, inputs[me])
+        return ctx.time() - start
+
+    return max(run_processes(platform, prog, params=params, noise=noise).rank_results)
+
+
+def main() -> None:
+    spec = get_machine(MACHINE)
+    platform = spec.platform.scaled(NODES, CORES)
+    params = NetworkParams(**spec.network)
+
+    rows = []
+    for compute_ms in (0.5, 2.0, 8.0):
+        for noise_name in ("none", "moderate", "noisy"):
+            noise = (NoiseModel(noise_name, platform.num_ranks, seed=3)
+                     if noise_name != "none" else None)
+            blocking = run_loop(platform, params, noise, compute_ms * 1e-3, False)
+            overlap = run_loop(platform, params, noise, compute_ms * 1e-3, True)
+            rows.append([
+                f"{compute_ms:.1f}",
+                noise_name,
+                f"{blocking * 1e3:.2f}",
+                f"{overlap * 1e3:.2f}",
+                f"{(1 - overlap / blocking) * 100:+.1f}%",
+            ])
+    print(render_table(
+        ["compute/iter (ms)", "noise", "blocking (ms)",
+         "non-blocking (ms)", "benefit"],
+        rows,
+        title=f"1 MiB Iallreduce overlap on '{MACHINE}' "
+        f"({platform.num_ranks} ranks, {ITERATIONS} iterations)",
+    ))
+    print("\nWhen compute dwarfs the collective, overlap hides it almost fully;")
+    print("noise adds imbalance that overlap can only partially absorb.")
+
+
+if __name__ == "__main__":
+    main()

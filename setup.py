@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment used for reproduction lacks the ``wheel`` package,
+so PEP 517 editable installs fail; this shim enables the legacy
+``pip install -e . --no-use-pep517`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

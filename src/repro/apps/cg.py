@@ -1,0 +1,27 @@
+"""CG proxy: an Allreduce-dominant iterative application.
+
+The conjugate-gradient solver of the NAS suite performs two small
+Allreduce reductions (dot products) per iteration between sparse
+matrix-vector compute phases.  This proxy is the Allreduce-dominant
+counterpart to :class:`~repro.apps.ft.FTProxy`, useful for demonstrating
+the paper's finding that Allreduce is far less arrival-pattern-sensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import IterativeProxyApp
+
+
+@dataclass
+class CGProxy(IterativeProxyApp):
+    """NAS-CG-shaped proxy: small-message Allreduce every half-iteration."""
+
+    collective: str = "allreduce"
+    algorithm: str = "recursive_doubling"
+    msg_bytes: float = 8.0
+    iterations: int = 75
+    calls_per_iteration: int = 2  # the two dot products of a CG step
+    compute_per_iteration: float = 1e-3
+    name: str = "cg"

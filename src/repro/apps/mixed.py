@@ -1,0 +1,142 @@
+"""Mixed-collective proxy application driven by a selection table.
+
+Real applications interleave several collectives per timestep (e.g. a CFD
+step: halo-ish Alltoall, a residual Allreduce, an occasional Bcast of
+control data).  :class:`MixedProxyApp` models that and — unlike the
+fixed-algorithm proxies — resolves each phase's algorithm through a
+decision source, in priority order:
+
+1. an explicit per-phase algorithm,
+2. a deployed :class:`~repro.selection.table.SelectionTable` (the artifact
+   a tuning campaign produces),
+3. the Open-MPI-style fixed decision logic.
+
+This closes the loop: trace -> tune -> deploy table -> run application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.collectives import CollArgs, make_input, run_collective
+from repro.collectives.tuned import fixed_decision
+from repro.selection.table import SelectionTable
+from repro.sim.mpi import run_processes
+from repro.sim.network import NetworkParams
+from repro.sim.noise import NoiseModel
+from repro.sim.platform import MachineSpec, Platform
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One collective phase of a timestep."""
+
+    collective: str
+    msg_bytes: float
+    count: int = 32
+    algorithm: str | None = None  # None -> resolve via table / fixed rules
+
+    def __post_init__(self) -> None:
+        if self.msg_bytes < 0 or self.count <= 0:
+            raise ConfigurationError("invalid phase parameters")
+
+
+@dataclass
+class MixedAppResult:
+    runtime: float
+    resolved: dict[str, str] = field(default_factory=dict)  # phase key -> algorithm
+    phase_mpi_time: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dominant_phase(self) -> str:
+        return max(self.phase_mpi_time, key=self.phase_mpi_time.get)
+
+
+@dataclass
+class MixedProxyApp:
+    """compute -> phase_1 -> phase_2 -> ... loop with table-driven algorithms."""
+
+    platform: Platform
+    phases: tuple[Phase, ...]
+    iterations: int = 10
+    compute_per_iteration: float = 1e-3
+    params: NetworkParams = field(default_factory=NetworkParams)
+    noise: NoiseModel | None = None
+    table: SelectionTable | None = None
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError("need at least one phase")
+        if self.iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+
+    @classmethod
+    def from_machine(cls, spec: MachineSpec, phases, nodes=None,
+                     cores_per_node=None, seed: int = 0, **kwargs):
+        platform = spec.platform.scaled(nodes, cores_per_node)
+        return cls(
+            platform=platform,
+            phases=tuple(phases),
+            params=NetworkParams(**spec.network),
+            noise=NoiseModel(spec.noise_profile, platform.num_ranks, seed=seed),
+            **kwargs,
+        )
+
+    def resolve_algorithm(self, phase: Phase) -> str:
+        """Priority: explicit -> selection table -> fixed decision logic."""
+        if phase.algorithm is not None:
+            return phase.algorithm
+        p = self.platform.num_ranks
+        if self.table is not None:
+            try:
+                return self.table.lookup(phase.collective, p, phase.msg_bytes)
+            except ConfigurationError:
+                pass  # no rules for this collective/comm size: fall through
+        return fixed_decision(phase.collective, p, phase.msg_bytes)
+
+    def run(self) -> MixedAppResult:
+        p = self.platform.num_ranks
+        plan = []
+        resolved: dict[str, str] = {}
+        for idx, phase in enumerate(self.phases):
+            algorithm = self.resolve_algorithm(phase)
+            key = f"{phase.collective}@{int(phase.msg_bytes)}B"
+            resolved[key] = algorithm
+            args = CollArgs(count=phase.count, msg_bytes=phase.msg_bytes,
+                            tag=10_000 + 97 * idx)
+            inputs = [make_input(phase.collective, r, p, phase.count)
+                      for r in range(p)]
+            plan.append((key, phase.collective, algorithm, args, inputs))
+        compute = self.compute_per_iteration
+        iterations = self.iterations
+
+        def prog(ctx):
+            me = ctx.rank
+            phase_time = {key: 0.0 for key, *_ in plan}
+            yield from ctx.barrier()
+            start = ctx.time()
+            for _it in range(iterations):
+                yield ctx.compute(compute)
+                for key, collective, algorithm, args, inputs in plan:
+                    before = ctx.time()
+                    yield from run_collective(ctx, collective, algorithm,
+                                              args, inputs[me])
+                    phase_time[key] += ctx.time() - before
+            return ctx.time() - start, phase_time
+
+        run = run_processes(self.platform, prog, params=self.params,
+                            noise=self.noise)
+        runtimes = [r[0] for r in run.rank_results]
+        phase_mpi = {key: float(np.mean([r[1][key] for r in run.rank_results]))
+                     for key, *_ in plan}
+        return MixedAppResult(
+            runtime=float(max(runtimes)),
+            resolved=resolved,
+            phase_mpi_time=phase_mpi,
+        )
+
+
+__all__ = ["Phase", "MixedProxyApp", "MixedAppResult"]

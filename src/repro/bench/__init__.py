@@ -1,0 +1,42 @@
+"""Micro-benchmark harness (ReproMPI analogue) and robustness analysis.
+
+Implements the paper's measurement methodology (Listing 1): synchronize
+ranks in time (MPIX_Harmonize analogue), busy-wait each rank to its
+arrival-pattern skew target, run the collective, timestamp entry and exit,
+and evaluate the *total delay* ``d* = max(e) - min(a)`` and the *last delay*
+``d^ = max(e) - max(a)`` metrics.
+"""
+
+from repro.bench.metrics import CollectiveTiming, last_delay, total_delay
+from repro.bench.results import BenchResult, SweepResult
+from repro.bench.micro import MicroBenchmark
+from repro.bench.robustness import (
+    average_normalized,
+    classify,
+    good_algorithms,
+    normalized_performance,
+    normalize_rows,
+)
+from repro.bench.runner import sweep_per_algorithm_skew, sweep_shared_skew
+from repro.bench.stats import Summary, summarize
+from repro.bench.campaign import CampaignResult, TuningCampaign
+
+__all__ = [
+    "CollectiveTiming",
+    "total_delay",
+    "last_delay",
+    "BenchResult",
+    "SweepResult",
+    "MicroBenchmark",
+    "normalized_performance",
+    "classify",
+    "good_algorithms",
+    "average_normalized",
+    "normalize_rows",
+    "sweep_shared_skew",
+    "sweep_per_algorithm_skew",
+    "Summary",
+    "summarize",
+    "TuningCampaign",
+    "CampaignResult",
+]

@@ -1,0 +1,140 @@
+"""Tuning campaigns: sweep collectives x sizes, build deployable rule tables.
+
+A :class:`TuningCampaign` is the production workflow wrapped around the
+paper's methodology (cf. OMPICollTune [Hunold & Steiner, PMBS'22], the
+authors' own autotuner):
+
+1. for every requested (collective, message size): benchmark all algorithms
+   under the arrival-pattern set,
+2. apply a selection strategy per cell (default: the paper's robustness
+   average),
+3. accumulate a :class:`~repro.selection.table.SelectionTable`,
+4. persist everything — raw sweeps (JSON), the table (JSON), and an Open
+   MPI ``coll_tuned`` dynamic-rules file ready for deployment.
+
+Exposed on the CLI as ``repro-mpi tune``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.bench.micro import MicroBenchmark
+from repro.bench.results import SweepResult
+from repro.bench.runner import sweep_shared_skew
+from repro.collectives.base import list_algorithms
+from repro.patterns.shapes import list_shapes
+from repro.utils.units import format_bytes, parse_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.selection.strategies import SelectionStrategy
+    from repro.selection.table import SelectionTable
+
+#: Collectives the Open MPI rules exporter can serialize (mirror of
+#: repro.selection.ompi_rules.OMPI_COLL_IDS; imported lazily to avoid a
+#: bench <-> selection import cycle).
+_TUNABLE = (
+    "allgather", "allgatherv", "allreduce", "alltoall", "alltoallv",
+    "alltoallw", "barrier", "bcast", "exscan", "gather", "gatherv",
+    "reduce", "reduce_scatter", "reduce_scatter_block", "scan",
+    "scatter", "scatterv",
+)
+
+#: Default size sweep: 8 B .. 1 MiB in decade-ish steps.
+DEFAULT_SIZES = (8, 128, 1024, 8192, 65536, 1048576)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced."""
+
+    table: "SelectionTable"
+    sweeps: dict[tuple[str, float], SweepResult] = field(default_factory=dict)
+    winners: dict[tuple[str, float], str] = field(default_factory=dict)
+
+    def summary_rows(self) -> list[list[str]]:
+        return [
+            [coll, format_bytes(int(size)), winner]
+            for (coll, size), winner in sorted(self.winners.items())
+        ]
+
+
+@dataclass
+class TuningCampaign:
+    """Configured tuning campaign bound to one benchmark harness."""
+
+    bench: MicroBenchmark
+    collectives: Sequence[str] = ("alltoall", "allreduce", "reduce")
+    msg_sizes: Sequence[int | str] = DEFAULT_SIZES
+    shapes: Sequence[str] = ()
+    strategy: "SelectionStrategy | None" = None
+    skew_factor: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        from repro.selection.strategies import RobustAverageSelector
+
+        if self.strategy is None:
+            self.strategy = RobustAverageSelector()
+        if not self.collectives:
+            raise ConfigurationError("campaign needs at least one collective")
+        for coll in self.collectives:
+            if coll not in _TUNABLE:
+                raise ConfigurationError(
+                    f"cannot tune {coll!r}: no Open MPI rules id "
+                    f"(choose from {sorted(_TUNABLE)})"
+                )
+            list_algorithms(coll)  # raises for unknown families
+        self._sizes = [parse_bytes(s) for s in self.msg_sizes]
+        if not self._sizes:
+            raise ConfigurationError("campaign needs at least one message size")
+        self._shapes = list(self.shapes) or list_shapes()
+
+    def run(self, progress=None) -> CampaignResult:
+        """Execute the campaign; ``progress(collective, size)`` is called per cell."""
+        from repro.selection.table import SelectionTable
+
+        table = SelectionTable(strategy_name=self.strategy.name)
+        result = CampaignResult(table=table)
+        for coll in self.collectives:
+            algorithms = list_algorithms(coll)
+            for size in self._sizes:
+                if progress is not None:
+                    progress(coll, size)
+                sweep = sweep_shared_skew(
+                    self.bench, coll, algorithms, size, self._shapes,
+                    skew_factor=self.skew_factor, seed=self.seed,
+                )
+                winner = table.add_sweep(sweep, self.strategy)
+                result.sweeps[(coll, float(size))] = sweep
+                result.winners[(coll, float(size))] = winner
+        return result
+
+    def save(self, result: CampaignResult, outdir: str | Path) -> dict[str, Path]:
+        """Persist table, rules file, and raw sweeps; returns written paths."""
+        from repro.selection.ompi_rules import write_ompi_rules_file
+
+        outdir = Path(outdir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "table": outdir / "selection_table.json",
+            "rules": outdir / "ompi_dynamic_rules.conf",
+            "sweeps": outdir / "sweeps.json",
+        }
+        result.table.save_json(paths["table"])
+        write_ompi_rules_file(paths["rules"], result.table)
+        payload = {
+            f"{coll}:{int(size)}": sweep.to_dict()
+            for (coll, size), sweep in result.sweeps.items()
+        }
+        paths["sweeps"].write_text(json.dumps(payload, indent=2))
+        return paths
+
+
+__all__ = ["TuningCampaign", "CampaignResult", "DEFAULT_SIZES"]

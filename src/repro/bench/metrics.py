@@ -1,0 +1,79 @@
+"""The paper's two delay metrics (Section II-A).
+
+For one collective call with per-rank arrival times ``a_i`` and exit times
+``e_i``:
+
+* **total delay**  ``d* = max(e_i) - min(a_i)`` — what a synchronized
+  micro-benchmark effectively measures; misleading under skew because it
+  includes the externally imposed waiting time.
+* **last delay**   ``d^ = max(e_i) - max(a_i)`` — time from the *last* rank
+  entering to the last rank leaving; the quantity worth minimizing when the
+  arrival pattern is outside the algorithm's control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def total_delay(arrivals: np.ndarray, exits: np.ndarray) -> float:
+    """``d* = max(e_i) - min(a_i)`` (Eq. 1)."""
+    arrivals = np.asarray(arrivals, dtype=float)
+    exits = np.asarray(exits, dtype=float)
+    _validate(arrivals, exits)
+    return float(exits.max() - arrivals.min())
+
+
+def last_delay(arrivals: np.ndarray, exits: np.ndarray) -> float:
+    """``d^ = max(e_i) - max(a_i)`` (Eq. 2)."""
+    arrivals = np.asarray(arrivals, dtype=float)
+    exits = np.asarray(exits, dtype=float)
+    _validate(arrivals, exits)
+    return float(exits.max() - arrivals.max())
+
+
+def _validate(arrivals: np.ndarray, exits: np.ndarray) -> None:
+    if arrivals.shape != exits.shape or arrivals.ndim != 1 or arrivals.size == 0:
+        raise ConfigurationError("arrivals/exits must be equal-length non-empty 1-D arrays")
+    if (exits < arrivals).any():
+        raise ConfigurationError("every exit time must be >= its arrival time")
+
+
+@dataclass(frozen=True)
+class CollectiveTiming:
+    """Per-rank arrival/exit timestamps of one collective call."""
+
+    arrivals: np.ndarray = field(repr=False)
+    exits: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        a = np.asarray(self.arrivals, dtype=float)
+        e = np.asarray(self.exits, dtype=float)
+        _validate(a, e)
+        object.__setattr__(self, "arrivals", a)
+        object.__setattr__(self, "exits", e)
+
+    @property
+    def num_ranks(self) -> int:
+        return int(self.arrivals.shape[0])
+
+    @property
+    def total_delay(self) -> float:
+        return total_delay(self.arrivals, self.exits)
+
+    @property
+    def last_delay(self) -> float:
+        return last_delay(self.arrivals, self.exits)
+
+    @property
+    def arrival_spread(self) -> float:
+        """Observed skew: ``max(a_i) - min(a_i)``."""
+        return float(self.arrivals.max() - self.arrivals.min())
+
+    def delays_from_first(self) -> np.ndarray:
+        """Per-rank arrival delay relative to the first arriving rank (Fig. 1/2)."""
+        return self.arrivals - self.arrivals.min()

@@ -1,0 +1,163 @@
+"""Result containers for micro-benchmark runs and sweeps, with JSON/CSV export."""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.bench.metrics import CollectiveTiming
+
+
+@dataclass
+class BenchResult:
+    """Outcome of benchmarking one (collective, algorithm, size, pattern) cell."""
+
+    collective: str
+    algorithm: str
+    msg_bytes: float
+    num_ranks: int
+    pattern_name: str
+    max_skew: float
+    timings: list[CollectiveTiming] = field(repr=False)
+    machine: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.timings:
+            raise ConfigurationError("BenchResult needs at least one repetition")
+
+    @property
+    def nrep(self) -> int:
+        return len(self.timings)
+
+    @property
+    def last_delays(self) -> np.ndarray:
+        return np.array([t.last_delay for t in self.timings])
+
+    @property
+    def total_delays(self) -> np.ndarray:
+        return np.array([t.total_delay for t in self.timings])
+
+    @property
+    def last_delay(self) -> float:
+        """Headline number: mean last delay over repetitions."""
+        return float(self.last_delays.mean())
+
+    @property
+    def total_delay(self) -> float:
+        return float(self.total_delays.mean())
+
+    @property
+    def median_last_delay(self) -> float:
+        return float(np.median(self.last_delays))
+
+    def summary(self, warmup: int = 0, winsor_fraction: float = 0.0,
+                confidence: float = 0.95):
+        """ReproMPI-style robust summary of the last-delay series."""
+        from repro.bench.stats import summarize
+
+        return summarize(self.last_delays, warmup=warmup,
+                         winsor_fraction=winsor_fraction, confidence=confidence)
+
+    def to_dict(self) -> dict:
+        return {
+            "collective": self.collective,
+            "algorithm": self.algorithm,
+            "msg_bytes": self.msg_bytes,
+            "num_ranks": self.num_ranks,
+            "pattern": self.pattern_name,
+            "max_skew": self.max_skew,
+            "machine": self.machine,
+            "nrep": self.nrep,
+            "last_delays": self.last_delays.tolist(),
+            "total_delays": self.total_delays.tolist(),
+        }
+
+
+@dataclass
+class SweepResult:
+    """A grid of bench results keyed by ``(pattern, algorithm)``.
+
+    One SweepResult covers one (collective, message size) slice — the layout
+    of the paper's per-size heatmaps.
+    """
+
+    collective: str
+    msg_bytes: float
+    num_ranks: int
+    cells: dict[tuple[str, str], BenchResult] = field(default_factory=dict)
+    skew_by_pattern: dict[str, float] = field(default_factory=dict)
+    machine: str = ""
+
+    def add(self, result: BenchResult) -> None:
+        self.cells[(result.pattern_name, result.algorithm)] = result
+
+    def get(self, pattern: str, algorithm: str) -> BenchResult:
+        try:
+            return self.cells[(pattern, algorithm)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no result for pattern={pattern!r} algorithm={algorithm!r}"
+            ) from None
+
+    @property
+    def patterns(self) -> list[str]:
+        seen: list[str] = []
+        for pattern, _ in self.cells:
+            if pattern not in seen:
+                seen.append(pattern)
+        return seen
+
+    @property
+    def algorithms(self) -> list[str]:
+        seen: list[str] = []
+        for _, algo in self.cells:
+            if algo not in seen:
+                seen.append(algo)
+        return seen
+
+    def row(self, pattern: str) -> dict[str, float]:
+        """Mean last delay per algorithm for one arrival pattern."""
+        return {
+            algo: self.get(pattern, algo).last_delay for algo in self.algorithms
+            if (pattern, algo) in self.cells
+        }
+
+    def best_algorithm(self, pattern: str) -> str:
+        row = self.row(pattern)
+        if not row:
+            raise ConfigurationError(f"no results for pattern {pattern!r}")
+        return min(row, key=row.get)
+
+    # -- persistence ---------------------------------------------------- #
+
+    def to_dict(self) -> dict:
+        return {
+            "collective": self.collective,
+            "msg_bytes": self.msg_bytes,
+            "num_ranks": self.num_ranks,
+            "machine": self.machine,
+            "skew_by_pattern": self.skew_by_pattern,
+            "cells": [r.to_dict() for r in self.cells.values()],
+        }
+
+    def save_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    def save_csv(self, path: str | Path) -> None:
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                ["collective", "msg_bytes", "pattern", "algorithm",
+                 "mean_last_delay", "median_last_delay", "mean_total_delay", "nrep"]
+            )
+            for (pattern, algo), r in sorted(self.cells.items()):
+                writer.writerow(
+                    [self.collective, self.msg_bytes, pattern, algo,
+                     f"{r.last_delay:.9g}", f"{r.median_last_delay:.9g}",
+                     f"{r.total_delay:.9g}", r.nrep]
+                )

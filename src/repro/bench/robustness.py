@@ -1,0 +1,95 @@
+"""Robustness analysis of collective algorithms (paper Sections IV-B/IV-C).
+
+Three analyses from the paper:
+
+* **Good-algorithm classification** (Fig. 5): per pattern row, algorithms
+  within 5 % of the fastest are "good" (light blue); the rest are not.
+* **Robustness normalization** (Fig. 6): ``d^_k / d^_no_delay - 1`` per
+  algorithm; values beyond +/-25 % are significantly slower/faster.
+* **Average normalized runtime** (Fig. 8, last row): per algorithm, the mean
+  of its row-normalized runtimes across patterns — the paper's robustness
+  indicator used for selection.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Fig. 5's "indistinguishable from fastest" tolerance.
+GOOD_TOLERANCE = 0.05
+#: Fig. 6's significance threshold for the green/gray/red classification.
+ROBUSTNESS_THRESHOLD = 0.25
+
+
+def normalized_performance(delay_pattern: float, delay_no_delay: float) -> float:
+    """``d^_k / d^_no_delay - 1``: speedup (<0) or slowdown (>0) under pattern k."""
+    if delay_no_delay <= 0:
+        raise ConfigurationError("no-delay runtime must be positive")
+    return delay_pattern / delay_no_delay - 1.0
+
+
+def classify(value: float, threshold: float = ROBUSTNESS_THRESHOLD) -> str:
+    """Fig. 6 color classes: 'faster' (green), 'neutral' (gray), 'slower' (red)."""
+    if threshold <= 0:
+        raise ConfigurationError("threshold must be positive")
+    if value < -threshold:
+        return "faster"
+    if value > threshold:
+        return "slower"
+    return "neutral"
+
+
+def good_algorithms(
+    row: Mapping[str, float], tolerance: float = GOOD_TOLERANCE
+) -> set[str]:
+    """Fig. 5's light-blue set: within ``tolerance`` of the row's fastest."""
+    if not row:
+        raise ConfigurationError("empty runtime row")
+    if tolerance < 0:
+        raise ConfigurationError("tolerance must be non-negative")
+    fastest = min(row.values())
+    return {algo for algo, t in row.items() if t <= fastest * (1 + tolerance)}
+
+
+def normalize_rows(
+    table: Mapping[str, Mapping[str, float]]
+) -> dict[str, dict[str, float]]:
+    """Normalize each pattern row to its fastest algorithm (Fig. 8 heatmaps).
+
+    ``table[pattern][algorithm] = runtime`` -> same layout with the row
+    minimum mapped to 1.0.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for pattern, row in table.items():
+        if not row:
+            raise ConfigurationError(f"empty row for pattern {pattern!r}")
+        fastest = min(row.values())
+        if fastest <= 0:
+            raise ConfigurationError(f"non-positive runtime in row {pattern!r}")
+        out[pattern] = {algo: t / fastest for algo, t in row.items()}
+    return out
+
+
+def average_normalized(
+    table: Mapping[str, Mapping[str, float]],
+    exclude: tuple[str, ...] = (),
+) -> dict[str, float]:
+    """Fig. 8's 'Average' row: per-algorithm mean of row-normalized runtimes.
+
+    ``exclude`` drops rows (e.g. the FT-Scenario, which the paper excludes
+    from the average used for prediction to avoid circularity).
+    """
+    normalized = normalize_rows(
+        {p: row for p, row in table.items() if p not in exclude}
+    )
+    if not normalized:
+        raise ConfigurationError("no rows left after exclusion")
+    algorithms = next(iter(normalized.values())).keys()
+    return {
+        algo: float(np.mean([normalized[p][algo] for p in normalized]))
+        for algo in algorithms
+    }

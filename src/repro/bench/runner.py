@@ -1,0 +1,111 @@
+"""Sweep drivers: benchmark algorithm sets across patterns and skew policies.
+
+Two sweeps match the paper's two experimental designs:
+
+* :func:`sweep_shared_skew` (Figs. 4, 5, 8): measure every algorithm in the
+  No-delay case, derive one shared maximum skew (``factor x`` the mean
+  No-delay runtime — or an explicit value, e.g. the max skew observed in an
+  application trace), then expose every algorithm to the same concrete
+  pattern per shape.
+* :func:`sweep_per_algorithm_skew` (Fig. 6): each algorithm gets patterns
+  scaled to its *own* No-delay runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.bench.micro import MicroBenchmark
+from repro.bench.results import SweepResult
+from repro.patterns.generator import ArrivalPattern, generate_pattern
+from repro.patterns.shapes import NO_DELAY
+from repro.patterns.skew import skew_from_mean_runtime
+
+
+def sweep_shared_skew(
+    bench: MicroBenchmark,
+    collective: str,
+    algorithms: Sequence[str],
+    msg_bytes: float,
+    shapes: Sequence[str],
+    skew_factor: float = 1.5,
+    max_skew: float | None = None,
+    seed: int = 0,
+    extra_patterns: Sequence[ArrivalPattern] = (),
+    **run_kwargs,
+) -> SweepResult:
+    """Benchmark ``algorithms`` under No-delay plus each shape, shared skew.
+
+    ``max_skew`` overrides the mean-runtime policy when given (used for the
+    Fig. 8 experiments, where the skew comes from the application trace).
+    ``extra_patterns`` appends pre-built patterns such as the FT-Scenario.
+    """
+    if not algorithms:
+        raise ConfigurationError("need at least one algorithm")
+    sweep = SweepResult(
+        collective=collective,
+        msg_bytes=float(msg_bytes),
+        num_ranks=bench.num_ranks,
+        machine=bench.machine_name or bench.platform.name,
+    )
+    # Phase 1: the No-delay baseline for every algorithm.
+    no_delay_runtimes: dict[str, float] = {}
+    for algo in algorithms:
+        result = bench.run(collective, algo, msg_bytes, pattern=None, **run_kwargs)
+        sweep.add(result)
+        no_delay_runtimes[algo] = result.last_delay
+    sweep.skew_by_pattern[NO_DELAY] = 0.0
+    # Phase 2: one shared skew for all algorithms.
+    skew = (
+        float(max_skew)
+        if max_skew is not None
+        else skew_from_mean_runtime(no_delay_runtimes, skew_factor)
+    )
+    for shape in shapes:
+        if shape == NO_DELAY:
+            continue
+        pattern = generate_pattern(shape, bench.num_ranks, skew, seed=seed)
+        sweep.skew_by_pattern[shape] = skew
+        for algo in algorithms:
+            sweep.add(bench.run(collective, algo, msg_bytes, pattern, **run_kwargs))
+    for pattern in extra_patterns:
+        sweep.skew_by_pattern[pattern.name] = pattern.max_skew
+        for algo in algorithms:
+            sweep.add(bench.run(collective, algo, msg_bytes, pattern, **run_kwargs))
+    return sweep
+
+
+def sweep_per_algorithm_skew(
+    bench: MicroBenchmark,
+    collective: str,
+    algorithms: Sequence[str],
+    msg_bytes: float,
+    shapes: Sequence[str],
+    skew_factor: float = 1.0,
+    seed: int = 0,
+    **run_kwargs,
+) -> SweepResult:
+    """Fig. 6 robustness design: skew scales with each algorithm's own runtime."""
+    if not algorithms:
+        raise ConfigurationError("need at least one algorithm")
+    sweep = SweepResult(
+        collective=collective,
+        msg_bytes=float(msg_bytes),
+        num_ranks=bench.num_ranks,
+        machine=bench.machine_name or bench.platform.name,
+    )
+    no_delay_runtimes: dict[str, float] = {}
+    for algo in algorithms:
+        result = bench.run(collective, algo, msg_bytes, pattern=None, **run_kwargs)
+        sweep.add(result)
+        no_delay_runtimes[algo] = result.last_delay
+    sweep.skew_by_pattern[NO_DELAY] = 0.0
+    for shape in shapes:
+        if shape == NO_DELAY:
+            continue
+        for algo in algorithms:
+            skew = skew_factor * no_delay_runtimes[algo]
+            pattern = generate_pattern(shape, bench.num_ranks, skew, seed=seed)
+            sweep.add(bench.run(collective, algo, msg_bytes, pattern, **run_kwargs))
+    return sweep

@@ -1,0 +1,316 @@
+"""Command-line interface: regenerate any paper figure or table.
+
+Examples::
+
+    repro-mpi fig4 --collective alltoall --nodes 16 --cores 4
+    repro-mpi fig7 --machines hydra galileo100
+    repro-mpi fig9 --fast
+    repro-mpi table2
+    repro-mpi all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro._version import __version__
+from repro.experiments import tables
+from repro.experiments.common import ExperimentConfig
+
+_FIG_COLLECTIVES = ("reduce", "allreduce", "alltoall")
+
+
+def _add_common(parser: argparse.ArgumentParser, machine_default: str = "hydra",
+                nodes_default: int = 16) -> None:
+    parser.add_argument("--machine", default=machine_default,
+                        help=f"machine preset (default: {machine_default})")
+    parser.add_argument("--nodes", type=int, default=nodes_default)
+    parser.add_argument("--cores", type=int, default=4, dest="cores_per_node")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--nrep", type=int, default=1)
+    parser.add_argument("--fast", action="store_true",
+                        help="shrink sweeps for a quick run")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also dump raw results as JSON")
+
+
+def _config(args: argparse.Namespace, machine: str | None = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        machine=machine or args.machine,
+        nodes=args.nodes,
+        cores_per_node=args.cores_per_node,
+        seed=args.seed,
+        nrep=args.nrep,
+        fast=args.fast,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mpi",
+        description="Reproduce 'MPI Collective Algorithm Selection in the "
+        "Presence of Process Arrival Patterns' (CLUSTER 2024).",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("fig1", help="FT Alltoall arrival-delay trace")
+    _add_common(p1, machine_default="galileo100")
+
+    p2 = sub.add_parser("fig2", help="arrival/exit notation example")
+    _add_common(p2)
+
+    p3 = sub.add_parser("fig3", help="artificial arrival-pattern shapes")
+    _add_common(p3)
+
+    for fig, helptext, default_machine in (
+        ("fig4", "simulation study: best algorithm per pattern/size", "simcluster"),
+        ("fig5", "runtimes under patterns, 5%-of-best classification", "hydra"),
+        ("fig6", "robustness heatmaps (+-25% classification)", "hydra"),
+    ):
+        p = sub.add_parser(fig, help=helptext)
+        _add_common(p, machine_default=default_machine)
+        p.add_argument("--collective", default="reduce", choices=_FIG_COLLECTIVES)
+
+    # The application study (Figs. 7-9) defaults to 8 x 4 = 32 ranks: the
+    # machine noise profiles are calibrated so FT's traced skew is
+    # commensurate with the 32 KiB Alltoall time at that scale.
+    p7 = sub.add_parser("fig7", help="FT vs. No-delay Alltoall micro-benchmark")
+    _add_common(p7, nodes_default=8)
+    p7.add_argument("--machines", nargs="+",
+                    default=["hydra", "galileo100", "discoverer"])
+
+    p8 = sub.add_parser("fig8", help="normalized Alltoall runtimes incl. FT-Scenario")
+    _add_common(p8, nodes_default=8)
+    p8.add_argument("--machines", nargs="+",
+                    default=["hydra", "galileo100", "discoverer"])
+
+    p9 = sub.add_parser("fig9", help="actual vs. projected FT runtime")
+    _add_common(p9, nodes_default=8)
+
+    pext = sub.add_parser(
+        "ext-selection",
+        help="extension: fixed-rules vs no-delay vs robust vs online-adaptive on FT",
+    )
+    _add_common(pext)
+
+    pnb = sub.add_parser(
+        "ext-nonblocking",
+        help="extension: blocking vs non-blocking collectives under noise",
+    )
+    _add_common(pnb)
+
+    pclk = sub.add_parser(
+        "ext-clocks",
+        help="extension: clock-sync accuracy across rank counts and drift",
+    )
+    _add_common(pclk)
+
+    pfam = sub.add_parser(
+        "ext-families",
+        help="extension: pattern sensitivity of every collective family",
+    )
+    _add_common(pfam, machine_default="simcluster")
+
+    sub.add_parser("table1", help="machine presets (Table I analogue)")
+    sub.add_parser("table2", help="algorithm IDs (Table II)")
+    sub.add_parser("registry", help="every registered collective algorithm")
+
+    pcheck = sub.add_parser(
+        "selfcheck", help="validate every algorithm against MPI semantics"
+    )
+    pcheck.add_argument("--quick", action="store_true", help="fewer rank counts")
+
+    ptrace = sub.add_parser(
+        "trace",
+        help="run a proxy application under the tracer; write trace + pattern files",
+    )
+    _add_common(ptrace, machine_default="galileo100", nodes_default=8)
+    ptrace.add_argument("--app", choices=["ft", "cg"], default="ft")
+    ptrace.add_argument("--algorithm", default=None,
+                        help="collective algorithm the app uses (default: app's)")
+    ptrace.add_argument("--iterations", type=int, default=20)
+    ptrace.add_argument("--trace-out", default="app.trace", metavar="PATH")
+    ptrace.add_argument("--pattern-out", default="app.pattern", metavar="PATH")
+
+    ptune = sub.add_parser(
+        "tune",
+        help="run a tuning campaign and emit a deployable Open MPI rules file",
+    )
+    _add_common(ptune)
+    ptune.add_argument("--collectives", nargs="+",
+                       default=["alltoall", "allreduce", "reduce"])
+    ptune.add_argument("--sizes", nargs="+",
+                       default=["8", "1KiB", "32KiB", "1MiB"],
+                       help="message sizes (e.g. 8 1KiB 32KiB)")
+    ptune.add_argument("--out", default="tuned", metavar="DIR",
+                       help="output directory for table/rules/sweeps")
+
+    pall = sub.add_parser("all", help="run every figure and table")
+    _add_common(pall)
+
+    return parser
+
+
+def _run_one(command: str, args: argparse.Namespace) -> str:
+    if command == "fig1":
+        from repro.experiments import fig1_ft_trace as mod
+        result = mod.run(_config(args))
+    elif command == "fig2":
+        from repro.experiments import fig2_notation as mod
+        result = mod.run(_config(args))
+    elif command == "fig3":
+        from repro.experiments import fig3_patterns as mod
+        result = mod.run(_config(args))
+    elif command in ("fig4", "fig5", "fig6"):
+        from repro.experiments import fig4_simulation, fig5_runtimes, fig6_robustness
+        mod = {"fig4": fig4_simulation, "fig5": fig5_runtimes,
+               "fig6": fig6_robustness}[command]
+        result = mod.run(_config(args), collective=args.collective)
+    elif command == "fig7":
+        from repro.experiments import fig7_ft_vs_micro as mod
+        result = mod.run(_config(args), machines=tuple(args.machines))
+    elif command == "fig8":
+        from repro.experiments import fig8_normalized as mod
+        result = mod.run(_config(args), machines=tuple(args.machines))
+    elif command == "fig9":
+        from repro.experiments import fig9_prediction as mod
+        result = mod.run(_config(args))
+    elif command == "ext-selection":
+        from repro.experiments import ext_selection_comparison as mod
+        result = mod.run(_config(args))
+    elif command == "ext-nonblocking":
+        from repro.experiments import ext_nonblocking as mod
+        result = mod.run(_config(args))
+    elif command == "ext-clocks":
+        from repro.experiments import ext_clock_accuracy as mod
+        result = mod.run(_config(args))
+    elif command == "ext-families":
+        from repro.experiments import ext_all_families as mod
+        result = mod.run(_config(args))
+    else:
+        raise ValueError(f"unknown figure {command!r}")
+    if getattr(args, "json", None):
+        from repro.reporting.export import results_to_json
+
+        results_to_json(args.json, result)
+    return mod.report(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    started = time.time()
+    if command == "table1":
+        print(tables.table1())
+    elif command == "table2":
+        print(tables.table2())
+    elif command == "registry":
+        print(tables.full_registry())
+    elif command == "selfcheck":
+        from repro.collectives.validate import validate_all
+
+        report = validate_all(quick=args.quick)
+        print(report.render())
+        if not report.ok:
+            return 1
+    elif command == "trace":
+        from repro.apps import CGProxy, FTProxy
+        from repro.patterns import write_pattern_file
+        from repro.sim.platform import get_machine
+        from repro.tracing import (
+            CollectiveTracer,
+            max_observed_skew,
+            pattern_from_trace,
+            write_trace,
+        )
+
+        config = _config(args)
+        spec = get_machine(config.machine)
+        if args.app == "ft":
+            app = FTProxy.class_d_scaled(
+                spec, nodes=config.nodes, cores_per_node=config.cores_per_node,
+                seed=config.seed, iterations=args.iterations,
+                algorithm=args.algorithm or "pairwise",
+            )
+        else:
+            app = CGProxy.from_machine(spec, nodes=config.nodes,
+                                       cores_per_node=config.cores_per_node,
+                                       seed=config.seed,
+                                       iterations=args.iterations)
+            if args.algorithm:
+                app.algorithm = args.algorithm
+        tracer = CollectiveTracer()
+        app_result = app.run(tracer)
+        coll = app.collective
+        p = config.num_ranks
+        pattern = pattern_from_trace(tracer, coll, p,
+                                     name=f"{args.app}_scenario")
+        write_trace(args.trace_out, tracer,
+                    metadata={"app": args.app, "machine": config.machine,
+                              "algorithm": app.algorithm})
+        write_pattern_file(args.pattern_out, pattern)
+        print(f"{args.app} runtime: {app_result.runtime * 1e3:.2f} ms "
+              f"(MPI fraction {app_result.mpi_fraction:.2f})")
+        print(f"traced {tracer.num_calls(coll)} {coll} calls; max skew "
+              f"{max_observed_skew(tracer, coll, p) * 1e6:.1f} us")
+        print(f"wrote trace: {args.trace_out}")
+        print(f"wrote pattern: {args.pattern_out}")
+    elif command == "tune":
+        from repro.bench.campaign import TuningCampaign
+        from repro.reporting.ascii import render_table
+
+        config = _config(args)
+        campaign = TuningCampaign(
+            bench=config.make_bench(nrep=max(config.nrep, 2)),
+            collectives=args.collectives,
+            msg_sizes=args.sizes,
+            seed=config.seed,
+        )
+        result = campaign.run(
+            progress=lambda c, s: print(f"  tuning {c} @ {s} B ...", file=sys.stderr)
+        )
+        paths = campaign.save(result, args.out)
+        print(render_table(["collective", "size", "selected algorithm"],
+                           result.summary_rows(),
+                           title=f"Tuned table ({config.machine}, "
+                           f"{config.num_ranks} ranks, strategy "
+                           f"{campaign.strategy.name})"))
+        for kind, path in paths.items():
+            print(f"wrote {kind}: {path}")
+    elif command == "all":
+        # Fig. 1 is the paper's Galileo100 trace; the application study
+        # (Figs. 7-9) runs at its calibrated 8-node scale.
+        saved_machine, saved_nodes0 = args.machine, args.nodes
+        args.machine, args.nodes = "galileo100", min(args.nodes, 8)
+        print(_run_one("fig1", args))
+        print()
+        args.machine, args.nodes = saved_machine, saved_nodes0
+        for fig in ("fig2", "fig3"):
+            print(_run_one(fig, args))
+            print()
+        for fig in ("fig4", "fig5", "fig6"):
+            for collective in _FIG_COLLECTIVES:
+                args.collective = collective
+                print(_run_one(fig, args))
+                print()
+        args.machines = ["hydra", "galileo100", "discoverer"]
+        saved_nodes = args.nodes
+        args.nodes = min(args.nodes, 8)  # application-study scale (see fig7 help)
+        for fig in ("fig7", "fig8", "fig9"):
+            print(_run_one(fig, args))
+            print()
+        args.nodes = saved_nodes
+        print(tables.table1())
+        print()
+        print(tables.table2())
+    else:
+        print(_run_one(command, args))
+    print(f"\n[{command} completed in {time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

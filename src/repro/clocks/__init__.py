@@ -1,0 +1,28 @@
+"""Clock substrate: drifting local clocks, HCA-style sync, MPIX_Harmonize.
+
+On a real cluster each node's clock drifts, and NTP-grade synchronization is
+far too coarse for microsecond-scale collective measurements.  The paper
+therefore uses HCA3 [Hunold & Carpen-Amarie, CLUSTER'18] to build a logical
+global clock with sub-microsecond accuracy, and MPIX_Harmonize [Schuchart et
+al., EuroMPI'23] to start all ranks at an agreed global instant.
+
+This package simulates the whole stack: :class:`LocalClock` models per-rank
+offset+drift clocks, :func:`sync_clocks` runs a hierarchical two-point
+offset/drift estimation over the simulated network (log2(p) levels of
+ping-pong exchanges composed down a binomial tree), and
+:func:`harmonize` implements the agreed-future-start-time operation used by
+the micro-benchmark harness (paper Listing 1).
+"""
+
+from repro.clocks.local import ClockSet, LocalClock
+from repro.clocks.sync import LinearCorrection, SyncedClocks, sync_clocks
+from repro.clocks.harmonize import harmonize
+
+__all__ = [
+    "LocalClock",
+    "ClockSet",
+    "LinearCorrection",
+    "SyncedClocks",
+    "sync_clocks",
+    "harmonize",
+]

@@ -1,0 +1,150 @@
+"""Hierarchical clock synchronization (HCA3 analogue).
+
+The protocol builds, for every rank, a linear correction mapping its local
+clock onto the *logical global clock* (defined as rank 0's local clock):
+
+1. Ranks are arranged in a binomial tree rooted at 0 (log2(p) levels, the
+   "hierarchical" part of HCA).
+2. Each child runs ``exchanges`` ping-pongs against its parent, spread over
+   a measurement window, yielding (local midpoint, offset) samples; a
+   least-squares line through them estimates both offset and relative drift
+   (the "two point / linear model" part).
+3. Samples with inflated round-trip times (parent busy, queueing) are
+   discarded by an RTT filter — the standard SKaMPI-style cleanup.
+4. Corrections compose down the tree: the parent ships its own correction
+   to the child, which chains it after its child->parent model.
+
+Accuracy with default parameters is well under a microsecond over a typical
+benchmark horizon, matching the paper's stated HCA3 accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.clocks.local import ClockSet, LocalClock
+from repro.collectives.base import binomial_tree
+from repro.sim.mpi import TAG_CLOCK, ProcContext
+
+
+@dataclass(frozen=True)
+class LinearCorrection:
+    """Maps a local clock reading onto the logical global clock: ``g = a*l + b``."""
+
+    a: float = 1.0
+    b: float = 0.0
+
+    def apply(self, local_time: float) -> float:
+        return self.a * local_time + self.b
+
+    def local_for_global(self, global_time: float) -> float:
+        """Invert: the local reading at which the global clock shows ``global_time``."""
+        return (global_time - self.b) / self.a
+
+    def compose(self, inner_a: float, inner_b: float) -> "LinearCorrection":
+        """Correction for ``g = self(inner(l))`` where ``inner(l) = inner_a*l + inner_b``."""
+        return LinearCorrection(self.a * inner_a, self.a * inner_b + self.b)
+
+
+IDENTITY = LinearCorrection()
+
+#: Control message size (bytes) for sync pings; small enough to stay eager.
+_PING_BYTES = 16
+
+
+def sync_clocks(
+    ctx: ProcContext,
+    clock: LocalClock,
+    exchanges: int = 24,
+    gap: float = 400e-6,
+    rtt_factor: float = 1.5,
+    tag: int = TAG_CLOCK,
+) -> Generator[tuple, None, LinearCorrection]:
+    """Run the hierarchical sync protocol on this rank; returns its correction.
+
+    Must be invoked by *every* rank of the communicator (it is itself a
+    collective).  ``clock`` is this rank's :class:`LocalClock`.
+    """
+    if exchanges < 4:
+        raise ConfigurationError("need at least 4 exchanges for a drift fit")
+    me, p = ctx.rank, ctx.size
+    parent, children = binomial_tree(me, p, 0)
+
+    if parent is None:
+        correction = IDENTITY
+    else:
+        mids: list[float] = []
+        diffs: list[float] = []
+        rtts: list[float] = []
+        for _ in range(exchanges):
+            t1 = clock.read(ctx.time())
+            yield from ctx.send(parent, _PING_BYTES, tag)
+            req = yield from ctx.recv(parent, tag)
+            t2 = clock.read(ctx.time())
+            ts = float(req.payload)
+            mids.append((t1 + t2) / 2.0)
+            diffs.append(ts - (t1 + t2) / 2.0)
+            rtts.append(t2 - t1)
+            yield ctx.sleep(gap)
+        mids_a = np.asarray(mids)
+        diffs_a = np.asarray(diffs)
+        rtts_a = np.asarray(rtts)
+        # Drop exchanges whose round trip was inflated by a busy parent.
+        keep = rtts_a <= rtt_factor * rtts_a.min()
+        if keep.sum() < 2:
+            keep = np.argsort(rtts_a)[:2]
+        mids_a, diffs_a = mids_a[keep], diffs_a[keep]
+        centre = mids_a.mean()
+        if np.ptp(mids_a) > 0:
+            alpha, beta0 = np.polyfit(mids_a - centre, diffs_a, 1)
+        else:  # degenerate window; offset-only model
+            alpha, beta0 = 0.0, float(diffs_a.mean())
+        beta = beta0 - alpha * centre
+        # child_local -> parent_local: l + alpha*l + beta
+        req = yield from ctx.recv(parent, tag + 1)
+        pa, pb = req.payload
+        correction = LinearCorrection(pa, pb).compose(1.0 + alpha, beta)
+
+    for child in children:
+        for _ in range(exchanges):
+            yield from ctx.recv(child, tag)
+            ts = clock.read(ctx.time())
+            yield from ctx.send(child, _PING_BYTES, tag, payload=ts)
+        yield from ctx.send(
+            child, _PING_BYTES, tag + 1, payload=(correction.a, correction.b)
+        )
+    return correction
+
+
+class SyncedClocks:
+    """All ranks' clocks plus their corrections — the logical global clock."""
+
+    def __init__(self, clockset: ClockSet, corrections: list[LinearCorrection]) -> None:
+        if len(corrections) != clockset.num_ranks:
+            raise ConfigurationError("one correction per rank required")
+        self.clockset = clockset
+        self.corrections = list(corrections)
+
+    def global_time(self, rank: int, true_time: float) -> float:
+        """The logical global clock as seen by ``rank`` at ``true_time``."""
+        return self.corrections[rank].apply(self.clockset.read(rank, true_time))
+
+    def true_time_for_global(self, rank: int, global_time: float) -> float:
+        """True instant at which ``rank``'s corrected clock reads ``global_time``."""
+        local = self.corrections[rank].local_for_global(global_time)
+        return self.clockset[rank].true_from_local(local)
+
+    def max_error(self, true_time: float) -> float:
+        """Worst-case disagreement with rank 0's view at one true instant."""
+        reference = self.global_time(0, true_time)
+        return max(
+            abs(self.global_time(r, true_time) - reference)
+            for r in range(self.clockset.num_ranks)
+        )
+
+
+__all__ = ["LinearCorrection", "IDENTITY", "sync_clocks", "SyncedClocks"]

@@ -1,0 +1,106 @@
+"""Convenience layer: build inputs, run algorithms, compute reference results.
+
+These helpers give the benchmark harness, the applications, and the test
+suite one uniform way to drive any registered collective:
+
+* :func:`make_input` — deterministic per-rank input of the right shape,
+* :func:`run_collective` — dispatch by (family, algorithm-name),
+* :func:`reference_result` — the semantically defined result, computed
+  directly from all inputs (what MPI guarantees, independent of algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.collectives.base import CollArgs, get_algorithm
+from repro.sim.mpi import ProcContext
+
+
+def make_input(
+    collective: str, rank: int, size: int, count: int, dtype=np.int64
+) -> np.ndarray:
+    """Deterministic input for ``rank`` with the family's expected shape.
+
+    Values are small distinct integers so reductions are exact and block
+    provenance is recognizable in failures (value encodes rank and index).
+    """
+    if collective in ("reduce", "allreduce", "allgather", "gather", "scan", "exscan"):
+        return (np.arange(count) + 1000 * rank + 1).astype(dtype)
+    if collective in ("alltoall", "scatter"):
+        base = np.arange(size * count).reshape(size, count)
+        return (base + 100_000 * rank + 1).astype(dtype)
+    if collective == "reduce_scatter":
+        return (np.arange(size * count) + 1000 * rank + 1).astype(dtype)
+    if collective == "bcast":
+        return (np.arange(count) + 7).astype(dtype)
+    if collective == "barrier":
+        return np.zeros(0, dtype=dtype)
+    raise ConfigurationError(f"unknown collective family {collective!r}")
+
+
+def run_collective(ctx: ProcContext, collective: str, algorithm: str, args: CollArgs, data):
+    """Generator: run one collective algorithm on this rank; returns its result."""
+    info = get_algorithm(collective, algorithm)
+    return (yield from info.fn(ctx, args, data))
+
+
+def reference_result(
+    collective: str, inputs: Sequence[np.ndarray], args: CollArgs, rank: int
+):
+    """The MPI-semantics result of ``collective`` for ``rank``.
+
+    ``inputs`` holds every rank's input (index = rank).  Used by the test
+    suite to validate every algorithm against the standard's definition.
+    """
+    size = len(inputs)
+    if collective == "bcast":
+        return np.asarray(inputs[args.root])
+    if collective == "reduce":
+        if rank != args.root:
+            return None
+        acc = np.asarray(inputs[0]).copy()
+        for contrib in inputs[1:]:
+            acc = args.op(acc, np.asarray(contrib))
+        return acc
+    if collective == "allreduce":
+        acc = np.asarray(inputs[0]).copy()
+        for contrib in inputs[1:]:
+            acc = args.op(acc, np.asarray(contrib))
+        return acc
+    if collective == "alltoall":
+        return np.stack([np.asarray(inputs[src])[rank] for src in range(size)])
+    if collective == "allgather":
+        return np.stack([np.asarray(inputs[src]) for src in range(size)])
+    if collective == "gather":
+        if rank != args.root:
+            return None
+        return np.stack([np.asarray(inputs[src]) for src in range(size)])
+    if collective == "scatter":
+        return np.asarray(inputs[args.root])[rank]
+    if collective == "reduce_scatter":
+        total = np.asarray(inputs[0]).copy()
+        for contrib in inputs[1:]:
+            total = args.op(total, np.asarray(contrib))
+        return total[rank * args.count : (rank + 1) * args.count]
+    if collective == "scan":
+        acc = np.asarray(inputs[0]).copy()
+        for contrib in inputs[1 : rank + 1]:
+            acc = args.op(acc, np.asarray(contrib))
+        return acc
+    if collective == "exscan":
+        if rank == 0:
+            return None
+        acc = np.asarray(inputs[0]).copy()
+        for contrib in inputs[1:rank]:
+            acc = args.op(acc, np.asarray(contrib))
+        return acc
+    if collective == "barrier":
+        return None
+    raise ConfigurationError(f"unknown collective family {collective!r}")
+
+
+__all__ = ["make_input", "run_collective", "reference_result"]

@@ -1,0 +1,63 @@
+"""Gather algorithms.
+
+All algorithms take ``(ctx, args, data)`` where ``data`` is this rank's
+contribution (1-D, ``args.count`` items).  The root returns a ``(p, count)``
+matrix (row ``i`` from rank ``i``); other ranks return ``None``.
+``args.msg_bytes`` models one contribution's wire size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.base import as_array, binomial_tree, register, rrank, vrank
+from repro.sim.mpi import ProcContext
+
+
+@register("gather", "linear", ompi_id=1, aliases=("basic_linear",),
+          description="Every rank sends its block to the root directly.")
+def gather_linear(ctx, args, data):
+    p, me = ctx.size, ctx.rank
+    own = as_array(data, args.count, "gather data")
+    if me != args.root:
+        yield from ctx.send(args.root, args.msg_bytes, args.tag, payload=own)
+        return None
+    out = np.empty((p, args.count), dtype=own.dtype)
+    out[me] = own
+    reqs = {src: ctx.irecv(src, args.tag) for src in range(p) if src != me}
+    if reqs:
+        yield ctx.waitall(list(reqs.values()))
+    for src, req in reqs.items():
+        out[src] = req.payload
+    return out
+
+
+@register("gather", "binomial", ompi_id=2, aliases=("bmtree",),
+          description="Subtree contributions merge up a binomial tree.")
+def gather_binomial(ctx, args, data):
+    """Binomial gather: each node forwards its whole subtree's rows at once.
+
+    Rows travel keyed by virtual rank; a node owning virtual ranks
+    ``[v, v + 2^k)`` ships them as one message of ``2^k`` blocks.
+    """
+    p, me = ctx.size, ctx.rank
+    own = as_array(data, args.count, "gather data")
+    parent, children = binomial_tree(me, p, args.root)
+    v = vrank(me, p, args.root)
+    # Collect rows from children; keys are virtual ranks.
+    rows: dict[int, np.ndarray] = {v: own}
+    for child in children:
+        req = yield from ctx.recv(child, args.tag)
+        cv = vrank(child, p, args.root)
+        arrived = np.asarray(req.payload)
+        for i in range(arrived.shape[0]):
+            rows[cv + i] = arrived[i]
+    if parent is not None:
+        span = max(rows) - v + 1
+        payload = np.stack([rows[v + i] for i in range(span)])
+        yield from ctx.send(parent, args.msg_bytes * span, args.tag, payload=payload)
+        return None
+    out = np.empty((p, args.count), dtype=own.dtype)
+    for vb, row in rows.items():
+        out[rrank(vb, p, args.root)] = row
+    return out

@@ -1,0 +1,53 @@
+"""Reduction operators for Reduce/Allreduce/Reduce_scatter.
+
+A :class:`ReduceOp` wraps an elementwise binary ufunc plus the metadata the
+algorithms need: whether the operator is commutative (non-commutative
+operators restrict the usable algorithms to in-order trees, mirroring MPI's
+rules for user ops) and its name for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """An MPI reduction operator."""
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    commutative: bool = True
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Combine two contributions; ``a`` is the earlier-ranked one."""
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:
+        return f"ReduceOp({self.name})"
+
+
+SUM = ReduceOp("sum", np.add)
+PROD = ReduceOp("prod", np.multiply)
+MAX = ReduceOp("max", np.maximum)
+MIN = ReduceOp("min", np.minimum)
+
+_BUILTIN = {op.name: op for op in (SUM, PROD, MAX, MIN)}
+
+
+def get_op(name: str) -> ReduceOp:
+    """Look up a built-in reduction operator by name."""
+    try:
+        return _BUILTIN[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown reduction op {name!r}; available: {sorted(_BUILTIN)}"
+        ) from None
+
+
+__all__ = ["ReduceOp", "SUM", "PROD", "MAX", "MIN", "get_op"]

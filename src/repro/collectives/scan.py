@@ -1,0 +1,103 @@
+"""Scan (inclusive) and Exscan (exclusive) prefix-reduction algorithms.
+
+All algorithms take ``(ctx, args, data)`` where ``data`` is this rank's
+contribution.  Scan returns ``op(in_0, ..., in_rank)`` on every rank; Exscan
+returns ``op(in_0, ..., in_{rank-1})`` (``None`` on rank 0, mirroring MPI's
+undefined recvbuf there).
+
+Both the O(p) linear chain and the O(log p) Hillis-Steele-style recursive
+doubling variants are provided; the latter requires only associativity, and
+the combine order is rank-ascending, so non-commutative operators are safe
+in all of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.base import as_array, register
+from repro.sim.mpi import ProcContext
+
+
+@register("scan", "linear", ompi_id=1,
+          description="Chain: receive the prefix from rank-1, combine, forward.")
+def scan_linear(ctx, args, data):
+    me, p = ctx.rank, ctx.size
+    own = as_array(data, args.count, "scan data").copy()
+    if me > 0:
+        req = yield from ctx.recv(me - 1, args.tag)
+        own = args.op(np.asarray(req.payload), own)
+    if me < p - 1:
+        yield from ctx.send(me + 1, args.msg_bytes, args.tag, payload=own)
+    return own
+
+
+@register("scan", "recursive_doubling", ompi_id=2, aliases=("rdb",),
+          description="log2(p) rounds; rank exchanges partial prefixes at doubling distances.")
+def scan_recursive_doubling(ctx, args, data):
+    me, p = ctx.rank, ctx.size
+    result = as_array(data, args.count, "scan data").copy()  # prefix so far
+    partial = result.copy()  # reduction of the contiguous block seen so far
+    distance = 1
+    while distance < p:
+        dst = me + distance
+        src = me - distance
+        reqs = []
+        if dst < p:
+            reqs.append(ctx.isend(dst, args.msg_bytes, args.tag, payload=partial))
+        rreq = None
+        if src >= 0:
+            rreq = ctx.irecv(src, args.tag)
+            reqs.append(rreq)
+        if reqs:
+            yield ctx.waitall(reqs)
+        if rreq is not None:
+            arrived = np.asarray(rreq.payload)
+            # arrived covers ranks [src-distance+1 .. src], all below me.
+            result = args.op(arrived, result)
+            partial = args.op(arrived, partial)
+        distance <<= 1
+    return result
+
+
+@register("exscan", "linear", ompi_id=1,
+          description="Chain exclusive prefix: forward op(prefix, own) downstream.")
+def exscan_linear(ctx, args, data):
+    me, p = ctx.rank, ctx.size
+    own = as_array(data, args.count, "exscan data")
+    prefix = None
+    if me > 0:
+        req = yield from ctx.recv(me - 1, args.tag)
+        prefix = np.asarray(req.payload)
+    if me < p - 1:
+        outgoing = own.copy() if prefix is None else args.op(prefix, own)
+        yield from ctx.send(me + 1, args.msg_bytes, args.tag, payload=outgoing)
+    return prefix
+
+
+@register("exscan", "recursive_doubling", ompi_id=2, aliases=("rdb",),
+          description="Recursive-doubling exclusive prefix (log2(p) rounds).")
+def exscan_recursive_doubling(ctx, args, data):
+    me, p = ctx.rank, ctx.size
+    own = as_array(data, args.count, "exscan data")
+    partial = own.copy()
+    prefix: np.ndarray | None = None
+    distance = 1
+    while distance < p:
+        dst = me + distance
+        src = me - distance
+        reqs = []
+        if dst < p:
+            reqs.append(ctx.isend(dst, args.msg_bytes, args.tag, payload=partial))
+        rreq = None
+        if src >= 0:
+            rreq = ctx.irecv(src, args.tag)
+            reqs.append(rreq)
+        if reqs:
+            yield ctx.waitall(reqs)
+        if rreq is not None:
+            arrived = np.asarray(rreq.payload)
+            prefix = arrived.copy() if prefix is None else args.op(arrived, prefix)
+            partial = args.op(arrived, partial)
+        distance <<= 1
+    return prefix

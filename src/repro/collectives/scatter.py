@@ -1,0 +1,77 @@
+"""Scatter algorithms.
+
+All algorithms take ``(ctx, args, data)`` where ``data`` is the root's
+``(p, count)`` matrix (row ``i`` destined to rank ``i``; ignored elsewhere)
+and return this rank's ``count``-item block.  ``args.msg_bytes`` models one
+block's wire size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.base import as_matrix, register, rrank, vrank
+from repro.sim.mpi import ProcContext
+
+
+@register("scatter", "linear", ompi_id=1, aliases=("basic_linear",),
+          description="The root sends each rank its block directly.")
+def scatter_linear(ctx, args, data):
+    p, me = ctx.size, ctx.rank
+    if me == args.root:
+        send = as_matrix(data, p, args.count, "scatter data")
+        reqs = [
+            ctx.isend(dst, args.msg_bytes, args.tag, payload=send[dst])
+            for dst in range(p)
+            if dst != me
+        ]
+        if reqs:
+            yield ctx.waitall(reqs)
+        return send[me].copy()
+    req = yield from ctx.recv(args.root, args.tag)
+    return np.asarray(req.payload)
+
+
+@register("scatter", "binomial", ompi_id=2, aliases=("bmtree",),
+          description="Blocks split down a binomial tree, halving the batch each level.")
+def scatter_binomial(ctx, args, data):
+    p, me = ctx.size, ctx.rank
+    v = vrank(me, p, args.root)
+    # Determine the subtree extent: the root covers all of [0, p), a node
+    # with lowest set bit m covers [v, v + m) clipped at p.
+    if v == 0:
+        rows: dict[int, np.ndarray] = {}
+        send = as_matrix(data, p, args.count, "scatter data")
+        for vb in range(p):
+            rows[vb] = send[rrank(vb, p, args.root)]
+        extent = 1
+        while extent < p:
+            extent <<= 1
+    else:
+        mask = 1
+        while not (v & mask):
+            mask <<= 1
+        parent = rrank(v ^ mask, p, args.root)
+        req = yield from ctx.recv(parent, args.tag)
+        arrived = np.asarray(req.payload)
+        rows = {v + i: arrived[i] for i in range(arrived.shape[0])}
+        extent = mask
+    send_reqs = []
+    half = extent >> 1
+    while half >= 1:
+        child_v = v + half
+        if child_v < p:
+            span = [vb for vb in range(child_v, min(child_v + half, p))]
+            payload = np.stack([rows.pop(vb) for vb in span])
+            send_reqs.append(
+                ctx.isend(
+                    rrank(child_v, p, args.root),
+                    args.msg_bytes * len(span),
+                    args.tag,
+                    payload=payload,
+                )
+            )
+        half >>= 1
+    if send_reqs:
+        yield ctx.waitall(send_reqs)
+    return np.asarray(rows[v])

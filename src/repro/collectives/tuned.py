@@ -1,0 +1,86 @@
+"""Fixed decision logic — an approximation of Open MPI's ``coll_tuned`` defaults.
+
+When no dynamic rules file is loaded, Open MPI picks algorithms with
+hard-coded message-size / communicator-size thresholds
+(``ompi_coll_tuned_*_intra_dec_fixed``).  This module reproduces that
+logic's *shape* for the collectives we implement, so experiments can
+compare three selection regimes:
+
+1. this fixed library default,
+2. No-delay-tuned tables (classic micro-benchmark tuning),
+3. the paper's robustness-average tables.
+
+The thresholds follow Open MPI 4.1's decision functions approximately; the
+point is a realistic baseline, not a byte-exact port.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.collectives.base import get_algorithm
+
+
+def fixed_decision(collective: str, comm_size: int, msg_bytes: float) -> str:
+    """Algorithm Open MPI's fixed decision logic would (approximately) pick."""
+    if comm_size <= 0 or msg_bytes < 0:
+        raise ConfigurationError("invalid decision inputs")
+    if collective == "alltoall":
+        if comm_size >= 12 and msg_bytes <= 256:
+            return "bruck"
+        if msg_bytes <= 3000:
+            return "basic_linear"
+        return "pairwise"
+    if collective == "allreduce":
+        if msg_bytes <= 10_000 or comm_size < 4:
+            return "recursive_doubling"
+        if msg_bytes <= 100_000:
+            return "rabenseifner"
+        return "ring"
+    if collective == "reduce":
+        if msg_bytes <= 12_288:
+            return "binomial"
+        if msg_bytes <= 128 * 1024:
+            return "binary"
+        if comm_size >= 8:
+            return "rabenseifner"
+        return "pipeline"
+    if collective == "bcast":
+        if msg_bytes <= 2048 or comm_size <= 4:
+            return "binomial"
+        if msg_bytes <= 128 * 1024:
+            return "binary"
+        return "pipeline" if comm_size < 8 else "scatter_allgather"
+    if collective == "allgather":
+        if comm_size <= 2:
+            return "linear"
+        if msg_bytes <= 512:
+            return "bruck"
+        if msg_bytes <= 128 * 1024:
+            return "recursive_doubling"
+        return "ring" if comm_size % 2 else "neighbor_exchange"
+    if collective == "gather":
+        return "binomial" if msg_bytes <= 6000 else "linear"
+    if collective == "scatter":
+        return "binomial" if msg_bytes <= 6000 else "linear"
+    if collective == "reduce_scatter":
+        return "recursive_halving" if msg_bytes <= 64 * 1024 else "pairwise"
+    if collective == "barrier":
+        if comm_size <= 2:
+            return "linear"
+        return "bruck" if comm_size <= 64 else "recursive_doubling"
+    if collective in ("scan", "exscan"):
+        return "recursive_doubling" if comm_size > 4 else "linear"
+    raise ConfigurationError(f"no fixed decision logic for {collective!r}")
+
+
+def validate_fixed_decisions(comm_sizes=(2, 4, 13, 32, 64, 128),
+                             sizes=(1, 256, 4096, 65536, 1 << 20, 1 << 24)) -> None:
+    """Assert every decision resolves to a registered algorithm (self-check)."""
+    for coll in ("alltoall", "allreduce", "reduce", "bcast", "allgather",
+                 "gather", "scatter", "reduce_scatter", "barrier", "scan", "exscan"):
+        for p in comm_sizes:
+            for m in sizes:
+                get_algorithm(coll, fixed_decision(coll, p, m))
+
+
+__all__ = ["fixed_decision", "validate_fixed_decisions"]

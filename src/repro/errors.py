@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class.  Subclasses separate the major failure domains:
+simulation (deadlock, protocol misuse), configuration (bad platform or
+pattern parameters), and data handling (malformed trace or pattern files).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """An error in the discrete-event simulation core."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation can make no further progress but processes remain blocked.
+
+    Carries the set of blocked ranks to aid debugging of collective
+    schedules (a mismatched send/recv pair is the usual culprit).
+    """
+
+    def __init__(self, blocked_ranks: list[int], message: str = "") -> None:
+        self.blocked_ranks = list(blocked_ranks)
+        detail = message or "simulation deadlocked"
+        super().__init__(f"{detail}; blocked ranks: {self.blocked_ranks}")
+
+
+class ProtocolError(SimulationError):
+    """A process used the simulated MPI API incorrectly.
+
+    Examples: waiting twice on the same request, receiving with a negative
+    source rank, or a collective invoked with inconsistent parameters.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Invalid platform, pattern, benchmark, or experiment configuration."""
+
+
+class UnknownAlgorithmError(ConfigurationError):
+    """Requested collective algorithm is not in the registry."""
+
+    def __init__(self, collective: str, name: str, available: list[str]) -> None:
+        self.collective = collective
+        self.name = name
+        self.available = sorted(available)
+        super().__init__(
+            f"unknown algorithm {name!r} for collective {collective!r}; "
+            f"available: {self.available}"
+        )
+
+
+class TraceFormatError(ReproError):
+    """A trace or arrival-pattern file could not be parsed."""

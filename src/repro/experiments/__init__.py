@@ -1,0 +1,24 @@
+"""Experiment drivers — one module per paper figure/table.
+
+Every driver exposes ``run(config) -> <result dataclass>`` plus a
+``report(result) -> str`` renderer printing the same rows/series the paper's
+figure shows.  The CLI (:mod:`repro.cli`) and the benchmark suite
+(``benchmarks/``) are thin wrappers over these.
+
+| Paper item | Module |
+|---|---|
+| Fig. 1  | :mod:`repro.experiments.fig1_ft_trace` |
+| Fig. 2  | :mod:`repro.experiments.fig2_notation` |
+| Fig. 3  | :mod:`repro.experiments.fig3_patterns` |
+| Fig. 4  | :mod:`repro.experiments.fig4_simulation` |
+| Fig. 5  | :mod:`repro.experiments.fig5_runtimes` |
+| Fig. 6  | :mod:`repro.experiments.fig6_robustness` |
+| Fig. 7  | :mod:`repro.experiments.fig7_ft_vs_micro` |
+| Fig. 8  | :mod:`repro.experiments.fig8_normalized` |
+| Fig. 9  | :mod:`repro.experiments.fig9_prediction` |
+| Tab. I/II | :mod:`repro.experiments.tables` |
+"""
+
+from repro.experiments.common import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

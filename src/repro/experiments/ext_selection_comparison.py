@@ -1,0 +1,115 @@
+"""Extension experiment: four selection regimes head-to-head on the FT proxy.
+
+Beyond the paper's figures, this compares end-to-end FT runtime under:
+
+1. **library default** — Open MPI's fixed decision logic
+   (:func:`repro.collectives.tuned.fixed_decision`),
+2. **no-delay tuned** — classic micro-benchmark tuning,
+3. **robust tuned** — the paper's robustness-average selection,
+4. **online adaptive** — per-call pattern detection + switching
+   (:mod:`repro.selection.online`), including its measurement overhead.
+
+The paper argues 3 beats 2 and needs no application trace; this experiment
+also quantifies the library default's gap and whether per-call adaptation
+pays for its probing allgather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.ft import FT_MSG_BYTES, FTProxy
+from repro.bench.runner import sweep_shared_skew
+from repro.collectives.tuned import fixed_decision
+from repro.experiments.common import ExperimentConfig, TABLE2_ALGORITHMS
+from repro.patterns.shapes import list_shapes
+from repro.reporting.ascii import render_table
+from repro.selection import (
+    AdaptiveSelector,
+    NoDelaySelector,
+    RobustAverageSelector,
+    run_adaptive_app,
+)
+from repro.sim.network import NetworkParams
+from repro.sim.noise import NoiseModel
+from repro.sim.platform import get_machine
+
+
+@dataclass
+class SelectionComparisonResult:
+    machine: str
+    num_ranks: int
+    #: regime -> (picked algorithm or 'adaptive', FT runtime seconds)
+    regimes: dict[str, tuple[str, float]] = field(default_factory=dict)
+    adaptive_switches: int = 0
+
+    def best_regime(self) -> str:
+        return min(self.regimes, key=lambda k: self.regimes[k][1])
+
+
+def run(config: ExperimentConfig | None = None) -> SelectionComparisonResult:
+    config = config or ExperimentConfig(machine="hydra")
+    spec = get_machine(config.machine)
+    algorithms = TABLE2_ALGORITHMS["alltoall"]
+    iterations = 5 if config.fast else 20
+    shapes = list_shapes() if not config.fast else ["first_delayed", "last_delayed",
+                                                    "ascending", "random"]
+
+    bench = config.make_bench(nrep=max(config.nrep, 2))
+    sweep = sweep_shared_skew(
+        bench, "alltoall", algorithms, FT_MSG_BYTES, shapes,
+        skew_factor=1.0, seed=config.seed,
+    )
+    picks = {
+        "library default (fixed rules)": fixed_decision(
+            "alltoall", config.num_ranks, FT_MSG_BYTES
+        ),
+        "no-delay tuned": NoDelaySelector().select(sweep),
+        "robust tuned (paper)": RobustAverageSelector().select(sweep),
+    }
+
+    result = SelectionComparisonResult(machine=config.machine,
+                                       num_ranks=config.num_ranks)
+    for regime, algo in picks.items():
+        ft = FTProxy.class_d_scaled(
+            spec, nodes=config.nodes, cores_per_node=config.cores_per_node,
+            seed=config.seed, algorithm=algo, iterations=iterations,
+        )
+        result.regimes[regime] = (algo, ft.run().runtime)
+
+    # Online adaptive, with the same iteration structure and noise.
+    platform = spec.platform.scaled(config.nodes, config.cores_per_node)
+    selector = AdaptiveSelector.from_sweep(sweep, config.num_ranks,
+                                           seed=config.seed)
+    adaptive = run_adaptive_app(
+        platform, selector,
+        msg_bytes=FT_MSG_BYTES, iterations=iterations * 2,  # 2 calls/iter in FTProxy
+        compute_per_iteration=0.6e-3,
+        params=NetworkParams(**spec.network),
+        noise=NoiseModel(spec.noise_profile, platform.num_ranks, seed=config.seed),
+    )
+    result.regimes["online adaptive (extension)"] = ("adaptive", adaptive.runtime)
+    result.adaptive_switches = adaptive.switches
+    return result
+
+
+def report(result: SelectionComparisonResult) -> str:
+    best = result.best_regime()
+    baseline = result.regimes["library default (fixed rules)"][1]
+    rows = [
+        [regime, algo, f"{runtime * 1e3:.2f}",
+         f"{(runtime / baseline - 1) * 100:+.1f}%",
+         "<-- best" if regime == best else ""]
+        for regime, (algo, runtime) in result.regimes.items()
+    ]
+    return "\n".join([
+        f"Extension — selection regimes on FT ({result.machine}, "
+        f"{result.num_ranks} ranks); adaptive switched algorithms "
+        f"{result.adaptive_switches}x",
+        "",
+        render_table(
+            ["selection regime", "algorithm", "FT runtime (ms)",
+             "vs library default", ""],
+            rows,
+        ),
+    ])

@@ -1,0 +1,128 @@
+"""Fig. 4: simulation study — best algorithm per (arrival pattern, message size).
+
+For each collective the driver sweeps message sizes from 2 B to 1 MiB.  Per
+size it measures every algorithm in the No-delay case, derives the shared
+maximum skew (``1.5 x`` the mean No-delay runtime — the paper's strongest
+factor), exposes every algorithm to each of the eight artificial patterns,
+and reports per cell:
+
+* the best algorithm (by mean last delay ``d^``), and
+* its runtime relative to the algorithm a No-delay-based decision logic
+  would have picked, measured under the *same* pattern — values < 1 mean
+  the No-delay choice was wrong by that factor.
+
+The paper runs this on SimGrid with 32 x 32 = 1024 ranks; the default scale
+here is 16 x 4 = 64 (see DESIGN.md), on the noise-free ``simcluster``
+platform with perfect clocks — exactly the simulator branch of Listing 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.bench.results import SweepResult
+from repro.bench.runner import sweep_shared_skew
+from repro.experiments.common import (
+    ExperimentConfig,
+    SIMULATION_ALGORITHMS,
+)
+from repro.patterns.shapes import NO_DELAY, list_shapes
+from repro.reporting.ascii import render_grid
+from repro.utils.units import format_bytes
+
+
+@dataclass
+class Fig4Result:
+    collective: str
+    num_ranks: int
+    msg_sizes: list[int]
+    shapes: list[str]
+    algorithms: list[str]
+    #: sweeps[msg_bytes] — the full measurement grid for one size.
+    sweeps: dict[int, SweepResult] = field(default_factory=dict, repr=False)
+
+    def best(self, msg_bytes: int, pattern: str) -> tuple[str, float]:
+        """(best algorithm, relative d^ vs the No-delay winner under this pattern)."""
+        sweep = self.sweeps[msg_bytes]
+        row = sweep.row(pattern)
+        best_algo = min(row, key=row.get)
+        no_delay_choice = sweep.best_algorithm(NO_DELAY)
+        relative = row[best_algo] / row[no_delay_choice]
+        return best_algo, relative
+
+    def mismatch_cells(self) -> list[tuple[int, str, str, str, float]]:
+        """Cells where the pattern-best differs from the No-delay choice."""
+        out = []
+        for size in self.msg_sizes:
+            no_delay_choice = self.sweeps[size].best_algorithm(NO_DELAY)
+            for shape in self.shapes:
+                best_algo, rel = self.best(size, shape)
+                if best_algo != no_delay_choice and rel < 0.999:
+                    out.append((size, shape, best_algo, no_delay_choice, rel))
+        return out
+
+
+def run(config: ExperimentConfig | None = None, collective: str = "reduce") -> Fig4Result:
+    config = config or ExperimentConfig(machine="simcluster")
+    if collective not in SIMULATION_ALGORITHMS:
+        raise ConfigurationError(
+            f"fig4 supports {sorted(SIMULATION_ALGORITHMS)}, got {collective!r}"
+        )
+    algorithms = SIMULATION_ALGORITHMS[collective]
+    shapes = list_shapes()
+    if config.fast:
+        shapes = ["ascending", "descending", "last_delayed", "random"]
+    bench = config.make_bench(
+        machine=config.machine if config.machine != "hydra" else "simcluster",
+        noise_profile="none",
+    )
+    msg_sizes = config.msg_sizes()
+    result = Fig4Result(
+        collective=collective,
+        num_ranks=bench.num_ranks,
+        msg_sizes=msg_sizes,
+        shapes=shapes,
+        algorithms=algorithms,
+    )
+    for size in msg_sizes:
+        result.sweeps[size] = sweep_shared_skew(
+            bench, collective, algorithms, size, shapes,
+            skew_factor=config.skew_factor, seed=config.seed,
+        )
+    return result
+
+
+def report(result: Fig4Result) -> str:
+    grid: dict[str, dict[str, str]] = {}
+    for pattern in [NO_DELAY] + result.shapes:
+        grid[pattern] = {}
+        for size in result.msg_sizes:
+            best_algo, rel = result.best(size, pattern)
+            label = format_bytes(size)
+            if pattern == NO_DELAY:
+                grid[pattern][label] = best_algo
+            else:
+                grid[pattern][label] = f"{best_algo} ({rel:.2f})"
+    lines = [
+        f"Fig. 4 — simulation: best {result.collective} algorithm per "
+        f"(pattern, message size), {result.num_ranks} ranks, skew = 1.5 x mean "
+        f"No-delay runtime",
+        "cell = best algorithm (d^ relative to the No-delay winner under the same pattern)",
+        "",
+        render_grid(grid, row_order=[NO_DELAY] + result.shapes,
+                    corner="pattern \\ size"),
+    ]
+    mismatches = result.mismatch_cells()
+    lines.append("")
+    lines.append(
+        f"{len(mismatches)} cells where the No-delay-tuned choice is suboptimal:"
+    )
+    for size, shape, best_algo, nd_choice, rel in mismatches[:12]:
+        lines.append(
+            f"  {format_bytes(size):>7} {shape:<14} best={best_algo:<18} "
+            f"no-delay-choice={nd_choice:<18} relative d^ = {rel:.2f}"
+        )
+    if len(mismatches) > 12:
+        lines.append(f"  ... and {len(mismatches) - 12} more")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Fig. 5: impact of arrival patterns on collective runtimes (real-machine mode).
+
+For one collective on the Hydra analogue, at the paper's selected message
+sizes (8 B, 1024 B, 1 MiB), each Table II algorithm runs under the No-delay
+case plus the distinct pattern subset.  Following the paper, measurement
+uses the synchronized-clock harness (drifting clocks + HCA sync +
+Harmonize) and machine noise, and per pattern row the algorithms within 5 %
+of the fastest are classified "good" (the light-blue boxes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.bench.results import SweepResult
+from repro.bench.robustness import good_algorithms
+from repro.bench.runner import sweep_shared_skew
+from repro.experiments.common import (
+    ExperimentConfig,
+    FIG5_MSG_SIZES,
+    FIG5_SHAPES,
+    TABLE2_ALGORITHMS,
+)
+from repro.patterns.shapes import NO_DELAY
+from repro.reporting.ascii import render_grid
+from repro.utils.units import format_bytes
+
+
+@dataclass
+class Fig5Result:
+    collective: str
+    machine: str
+    num_ranks: int
+    msg_sizes: list[int]
+    shapes: list[str]
+    algorithms: list[str]
+    sweeps: dict[int, SweepResult] = field(default_factory=dict, repr=False)
+
+    def classification(self, msg_bytes: int, pattern: str) -> dict[str, bool]:
+        """algorithm -> is within 5% of the row's fastest ("good")."""
+        row = self.sweeps[msg_bytes].row(pattern)
+        good = good_algorithms(row)
+        return {algo: algo in good for algo in row}
+
+
+def run(config: ExperimentConfig | None = None, collective: str = "reduce") -> Fig5Result:
+    config = config or ExperimentConfig(machine="hydra")
+    if collective not in TABLE2_ALGORITHMS:
+        raise ConfigurationError(
+            f"fig5 supports {sorted(TABLE2_ALGORITHMS)}, got {collective!r}"
+        )
+    algorithms = TABLE2_ALGORITHMS[collective]
+    shapes = FIG5_SHAPES if not config.fast else ["descending", "last_delayed"]
+    msg_sizes = FIG5_MSG_SIZES if not config.fast else [8, 1024]
+    bench = config.make_bench(clock_mode="synced", nrep=max(config.nrep, 2))
+    result = Fig5Result(
+        collective=collective,
+        machine=config.machine,
+        num_ranks=bench.num_ranks,
+        msg_sizes=msg_sizes,
+        shapes=shapes,
+        algorithms=algorithms,
+    )
+    for size in msg_sizes:
+        result.sweeps[size] = sweep_shared_skew(
+            bench, collective, algorithms, size, shapes,
+            skew_factor=1.0,  # Fig. 5 scales skew to the mean No-delay runtime
+            seed=config.seed,
+        )
+    return result
+
+
+def report(result: Fig5Result) -> str:
+    lines = [
+        f"Fig. 5 — runtimes of {result.collective} algorithms under arrival "
+        f"patterns ({result.machine}, {result.num_ranks} ranks)",
+        "cell = mean last delay d^ in ms; '*' marks algorithms within 5% of the row's fastest",
+    ]
+    for size in result.msg_sizes:
+        sweep = result.sweeps[size]
+        grid: dict[str, dict[str, str]] = {}
+        for pattern in [NO_DELAY] + result.shapes:
+            row = sweep.row(pattern)
+            good = good_algorithms(row)
+            grid[pattern] = {
+                algo: f"{row[algo] * 1e3:.4f}{'*' if algo in good else ' '}"
+                for algo in result.algorithms
+            }
+        lines.append("")
+        lines.append(
+            render_grid(
+                grid,
+                row_order=[NO_DELAY] + result.shapes,
+                col_order=result.algorithms,
+                corner=f"{format_bytes(size)} \\ algo",
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Fig. 6: robustness of collective algorithms against arrival patterns.
+
+The robustness design scales the pattern's maximum skew to each algorithm's
+*own* No-delay runtime, then reports the normalized runtime
+``d^_k / d^_no_delay - 1`` per (algorithm, pattern): values below -0.25
+(green in the paper) mean the algorithm absorbed skew; above +0.25 (red) it
+degraded significantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.bench.results import SweepResult
+from repro.bench.robustness import classify, normalized_performance
+from repro.bench.runner import sweep_per_algorithm_skew
+from repro.experiments.common import (
+    ExperimentConfig,
+    FIG5_MSG_SIZES,
+    FIG5_SHAPES,
+    TABLE2_ALGORITHMS,
+)
+from repro.patterns.shapes import NO_DELAY
+from repro.reporting.ascii import render_grid
+from repro.utils.units import format_bytes
+
+_MARK = {"faster": "G", "neutral": ".", "slower": "R"}
+
+
+@dataclass
+class Fig6Result:
+    collective: str
+    machine: str
+    num_ranks: int
+    msg_sizes: list[int]
+    shapes: list[str]
+    algorithms: list[str]
+    sweeps: dict[int, SweepResult] = field(default_factory=dict, repr=False)
+
+    def normalized(self, msg_bytes: int, pattern: str, algorithm: str) -> float:
+        sweep = self.sweeps[msg_bytes]
+        return normalized_performance(
+            sweep.get(pattern, algorithm).last_delay,
+            sweep.get(NO_DELAY, algorithm).last_delay,
+        )
+
+    def counts(self, msg_bytes: int) -> dict[str, int]:
+        """How many cells are green/gray/red at one size."""
+        out = {"faster": 0, "neutral": 0, "slower": 0}
+        for shape in self.shapes:
+            for algo in self.algorithms:
+                out[classify(self.normalized(msg_bytes, shape, algo))] += 1
+        return out
+
+
+def run(config: ExperimentConfig | None = None, collective: str = "reduce") -> Fig6Result:
+    config = config or ExperimentConfig(machine="hydra")
+    if collective not in TABLE2_ALGORITHMS:
+        raise ConfigurationError(
+            f"fig6 supports {sorted(TABLE2_ALGORITHMS)}, got {collective!r}"
+        )
+    algorithms = TABLE2_ALGORITHMS[collective]
+    shapes = FIG5_SHAPES if not config.fast else ["descending", "last_delayed"]
+    msg_sizes = FIG5_MSG_SIZES if not config.fast else [8, 1024]
+    bench = config.make_bench()
+    result = Fig6Result(
+        collective=collective,
+        machine=config.machine,
+        num_ranks=bench.num_ranks,
+        msg_sizes=msg_sizes,
+        shapes=shapes,
+        algorithms=algorithms,
+    )
+    for size in msg_sizes:
+        result.sweeps[size] = sweep_per_algorithm_skew(
+            bench, collective, algorithms, size, shapes, seed=config.seed
+        )
+    return result
+
+
+def report(result: Fig6Result) -> str:
+    lines = [
+        f"Fig. 6 — robustness of {result.collective} algorithms "
+        f"({result.machine}, {result.num_ranks} ranks; per-algorithm skew = own "
+        f"No-delay runtime)",
+        "cell = d^_pattern / d^_no_delay - 1;  G = >25% faster, R = >25% slower, . = within 25%",
+    ]
+    for size in result.msg_sizes:
+        grid: dict[str, dict[str, str]] = {}
+        for shape in result.shapes:
+            grid[shape] = {}
+            for algo in result.algorithms:
+                value = result.normalized(size, shape, algo)
+                grid[shape][algo] = f"{value:+.3f} {_MARK[classify(value)]}"
+        lines.append("")
+        lines.append(
+            render_grid(
+                grid,
+                row_order=result.shapes,
+                col_order=result.algorithms,
+                corner=f"{format_bytes(size)} \\ algo",
+            )
+        )
+        counts = result.counts(size)
+        lines.append(
+            f"  -> {counts['faster']} green / {counts['neutral']} gray / "
+            f"{counts['slower']} red cells"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Tables I and II: the machine registry and the algorithm-ID mapping."""
+
+from __future__ import annotations
+
+import repro.collectives  # noqa: F401 - populate the registry
+from repro.collectives.base import get_algorithm, list_algorithms
+from repro.experiments.common import TABLE2_ALGORITHMS
+from repro.reporting.ascii import render_table
+from repro.sim.platform import MACHINES
+
+
+def table1() -> str:
+    """Table I: characteristics of the (simulated analogues of the) machines."""
+    rows = []
+    for name, spec in MACHINES.items():
+        plat = spec.platform
+        rows.append([
+            name,
+            f"{plat.nodes} x {plat.cores_per_node} cores",
+            spec.interconnect,
+            f"{spec.network['inter_latency'] * 1e6:.1f} us / "
+            f"{spec.network['inter_bandwidth'] * 8 / 1e9:.0f} Gbit/s",
+            spec.noise_profile,
+            spec.mpi_version,
+        ])
+    return render_table(
+        ["Machine", "Scale (default)", "Interconnect",
+         "Inter-node lat/bw", "Noise", "MPI analogue"],
+        rows,
+        title="Table I — simulated machine presets (paper analogues)",
+    )
+
+
+def table2() -> str:
+    """Table II: algorithm IDs and names (Open MPI 4.1.x numbering)."""
+    rows = []
+    for collective in ("allreduce", "alltoall", "reduce"):
+        for name in TABLE2_ALGORITHMS[collective]:
+            info = get_algorithm(collective, name)
+            rows.append([
+                collective,
+                str(info.ompi_id),
+                info.name,
+                ", ".join(info.aliases) or "-",
+                info.description,
+            ])
+    return render_table(
+        ["Collective", "ID", "Algorithm", "Aliases", "Description"],
+        rows,
+        title="Table II — algorithm IDs and names in Open MPI 4.1.x",
+    )
+
+
+def full_registry() -> str:
+    """Every registered algorithm in every family (beyond Table II)."""
+    rows = []
+    from repro.collectives.base import list_collectives
+
+    for collective in list_collectives():
+        for name in list_algorithms(collective):
+            info = get_algorithm(collective, name)
+            rows.append([
+                collective,
+                str(info.ompi_id) if info.ompi_id is not None else "-",
+                name,
+                info.description,
+            ])
+    return render_table(
+        ["Collective", "ID", "Algorithm", "Description"],
+        rows,
+        title="Full algorithm registry",
+    )

@@ -1,0 +1,38 @@
+"""Process arrival patterns (paper Section III-B, Fig. 3).
+
+An *arrival pattern* assigns every rank a skew — the extra delay it waits
+before entering a collective.  The paper defines eight artificial shapes
+capturing the trends observed in application traces, plus the ``no_delay``
+reference where every rank enters simultaneously.
+"""
+
+from repro.patterns.shapes import NO_DELAY, PATTERN_SHAPES, list_shapes, shape_fn
+from repro.patterns.generator import (
+    ArrivalPattern,
+    generate_pattern,
+    no_delay_pattern,
+    read_pattern_file,
+    write_pattern_file,
+)
+from repro.patterns.skew import (
+    skew_from_mean_runtime,
+    per_algorithm_skews,
+    SKEW_FACTORS,
+)
+from repro.patterns.node_level import generate_node_pattern
+
+__all__ = [
+    "NO_DELAY",
+    "PATTERN_SHAPES",
+    "no_delay_pattern",
+    "list_shapes",
+    "shape_fn",
+    "ArrivalPattern",
+    "generate_pattern",
+    "read_pattern_file",
+    "write_pattern_file",
+    "skew_from_mean_runtime",
+    "per_algorithm_skews",
+    "SKEW_FACTORS",
+    "generate_node_pattern",
+]

@@ -1,0 +1,117 @@
+"""Concrete arrival-pattern generation and the paper's pattern-file format.
+
+The paper's generator "takes the shape type, the number of processes, and
+the maximum process skew as inputs and produces a file with p lines, where
+each line i denotes the process skew of process P_i".
+:func:`write_pattern_file` / :func:`read_pattern_file` implement exactly
+that format (one float, in seconds, per line; ``#`` comments allowed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.patterns.shapes import NO_DELAY, shape_fn
+from repro.utils.seeding import spawn_rng
+
+
+@dataclass(frozen=True)
+class ArrivalPattern:
+    """A concrete per-rank skew assignment.
+
+    ``skews[i]`` is the delay (seconds) rank ``i`` waits before entering the
+    collective; ``name`` records the generating shape for reports.
+    """
+
+    name: str
+    skews: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.skews, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ConfigurationError("skews must be a non-empty 1-D array")
+        if (arr < 0).any():
+            raise ConfigurationError("skews must be non-negative")
+        object.__setattr__(self, "skews", arr)
+
+    @property
+    def num_ranks(self) -> int:
+        return int(self.skews.shape[0])
+
+    @property
+    def max_skew(self) -> float:
+        return float(self.skews.max())
+
+    def skew_of(self, rank: int) -> float:
+        """The paper's ``get_arrival_pattern_delay()`` for rank ``rank``."""
+        return float(self.skews[rank])
+
+    def scaled_to(self, max_skew: float) -> "ArrivalPattern":
+        """The same shape rescaled so its maximum skew is ``max_skew``."""
+        if max_skew < 0:
+            raise ConfigurationError("max_skew must be non-negative")
+        peak = self.skews.max()
+        if peak == 0:
+            return ArrivalPattern(self.name, np.zeros_like(self.skews))
+        return ArrivalPattern(self.name, self.skews * (max_skew / peak))
+
+
+def generate_pattern(
+    shape: str, num_ranks: int, max_skew: float, seed: int = 0
+) -> ArrivalPattern:
+    """Generate a concrete pattern from a Fig. 3 shape.
+
+    ``max_skew`` is the paper's *maximum process skew* ``s``: per-rank delays
+    fall in ``[0, s]`` and (except for ``no_delay``) at least one rank is
+    delayed by exactly ``s``.
+    """
+    if num_ranks <= 0:
+        raise ConfigurationError(f"num_ranks must be positive, got {num_ranks}")
+    if max_skew < 0:
+        raise ConfigurationError(f"max_skew must be non-negative, got {max_skew}")
+    fn = shape_fn(shape)
+    rng = spawn_rng(seed, "pattern", shape, num_ranks)
+    rel = fn(num_ranks, rng)
+    return ArrivalPattern(shape, rel * max_skew)
+
+
+def no_delay_pattern(num_ranks: int) -> ArrivalPattern:
+    """The synchronized reference pattern (all skews zero)."""
+    return generate_pattern(NO_DELAY, num_ranks, 0.0)
+
+
+def write_pattern_file(path: str | Path, pattern: ArrivalPattern) -> None:
+    """Write the paper's p-line pattern-file format."""
+    path = Path(path)
+    lines = [f"# arrival pattern: {pattern.name} (p={pattern.num_ranks})"]
+    lines += [f"{skew:.12g}" for skew in pattern.skews]
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_pattern_file(path: str | Path, name: str | None = None) -> ArrivalPattern:
+    """Read a p-line pattern file; ``#`` lines are comments."""
+    path = Path(path)
+    skews: list[float] = []
+    header_name = None
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if "arrival pattern:" in line and header_name is None:
+                header_name = line.split("arrival pattern:", 1)[1].split("(")[0].strip()
+            continue
+        try:
+            value = float(line)
+        except ValueError:
+            raise TraceFormatError(f"{path}:{lineno}: not a number: {line!r}") from None
+        if value < 0:
+            raise TraceFormatError(f"{path}:{lineno}: negative skew {value}")
+        skews.append(value)
+    if not skews:
+        raise TraceFormatError(f"{path}: no skew values found")
+    return ArrivalPattern(name or header_name or path.stem, np.array(skews))

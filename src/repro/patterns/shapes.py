@@ -1,0 +1,116 @@
+"""The eight artificial arrival-pattern shapes of the paper's Fig. 3.
+
+Every shape function maps ``(p, rng)`` to an array of *relative* skews in
+``[0, 1]`` whose maximum is exactly 1 (so scaling by the configured maximum
+process skew ``s`` yields per-rank delays in ``[0, s]`` with at least one
+rank experiencing ``s``).  The ``no_delay`` reference (all zeros) is kept
+separate because nothing about it scales.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+ShapeFn = Callable[[int, np.random.Generator], np.ndarray]
+
+
+def _normalize(rel: np.ndarray) -> np.ndarray:
+    """Scale a non-negative profile so its maximum is exactly 1."""
+    peak = rel.max()
+    if peak <= 0:
+        return np.zeros_like(rel)
+    return rel / peak
+
+
+def ascending(p: int, rng: np.random.Generator) -> np.ndarray:
+    """Skew grows linearly with rank; the last rank is the most delayed."""
+    if p == 1:
+        return np.ones(1)
+    return np.arange(p) / (p - 1)
+
+
+def descending(p: int, rng: np.random.Generator) -> np.ndarray:
+    """Skew falls linearly with rank; rank 0 is the most delayed."""
+    return ascending(p, rng)[::-1].copy()
+
+
+def first_delayed(p: int, rng: np.random.Generator) -> np.ndarray:
+    """Only rank 0 is delayed (a straggler root)."""
+    rel = np.zeros(p)
+    rel[0] = 1.0
+    return rel
+
+
+def last_delayed(p: int, rng: np.random.Generator) -> np.ndarray:
+    """Only the last rank is delayed."""
+    rel = np.zeros(p)
+    rel[-1] = 1.0
+    return rel
+
+
+def random_uniform(p: int, rng: np.random.Generator) -> np.ndarray:
+    """I.i.d. uniform skews, rescaled so the maximum is 1."""
+    return _normalize(rng.random(p))
+
+
+def bell(p: int, rng: np.random.Generator) -> np.ndarray:
+    """Gaussian bump: the middle ranks are the most delayed."""
+    centre = (p - 1) / 2.0
+    width = max(p / 6.0, 1.0)
+    return _normalize(np.exp(-((np.arange(p) - centre) ** 2) / (2 * width**2)))
+
+
+def step(p: int, rng: np.random.Generator) -> np.ndarray:
+    """Half the ranks on time, the other half uniformly late (two node groups)."""
+    rel = np.zeros(p)
+    rel[p // 2 :] = 1.0
+    return rel
+
+
+def zigzag(p: int, rng: np.random.Generator) -> np.ndarray:
+    """Alternating on-time / delayed ranks (e.g. one slow rank per core pair)."""
+    rel = np.zeros(p)
+    rel[1::2] = 1.0
+    if p == 1:
+        rel[0] = 1.0
+    return rel
+
+
+#: The eight artificial shapes of Fig. 3, plus the no-delay reference.
+PATTERN_SHAPES: dict[str, ShapeFn] = {
+    "ascending": ascending,
+    "descending": descending,
+    "first_delayed": first_delayed,
+    "last_delayed": last_delayed,
+    "random": random_uniform,
+    "bell": bell,
+    "step": step,
+    "zigzag": zigzag,
+}
+
+#: Shape name used for the perfectly synchronized reference case.
+NO_DELAY = "no_delay"
+
+
+def list_shapes(include_no_delay: bool = False) -> list[str]:
+    """All artificial shape names (optionally with the no-delay reference)."""
+    names = list(PATTERN_SHAPES)
+    if include_no_delay:
+        names.insert(0, NO_DELAY)
+    return names
+
+
+def shape_fn(name: str) -> ShapeFn:
+    if name == NO_DELAY:
+        return lambda p, rng: np.zeros(p)
+    try:
+        return PATTERN_SHAPES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown arrival-pattern shape {name!r}; "
+            f"available: {[NO_DELAY] + list(PATTERN_SHAPES)}"
+        ) from None

@@ -1,0 +1,50 @@
+"""Skew-magnitude policies (paper Sections III-B and IV-C).
+
+Two ways the paper sizes the maximum process skew:
+
+* **Shared magnitude** (Figs. 4, 5): run every algorithm in the No-delay
+  case, average the runtimes, multiply by a factor (0.5 / 1.0 / 1.5); every
+  algorithm is then exposed to the *same* skew.
+* **Per-algorithm magnitude** (Fig. 6 robustness): each algorithm ``i`` gets
+  a pattern scaled to its *own* No-delay runtime ``t_i`` — "an algorithm
+  that requires X ms should be given a process arrival pattern with a
+  maximum skew of X ms".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: The three factors the paper applies to the mean No-delay runtime; the
+#: headline results (Fig. 4) use 1.5.
+SKEW_FACTORS = (0.5, 1.0, 1.5)
+
+
+def skew_from_mean_runtime(runtimes: Sequence[float] | Mapping[str, float],
+                           factor: float = 1.5) -> float:
+    """Shared maximum skew: ``factor`` x mean No-delay runtime over algorithms."""
+    if factor < 0:
+        raise ConfigurationError(f"factor must be non-negative, got {factor}")
+    values = list(runtimes.values()) if isinstance(runtimes, Mapping) else list(runtimes)
+    if not values:
+        raise ConfigurationError("need at least one runtime")
+    arr = np.asarray(values, dtype=float)
+    if (arr < 0).any():
+        raise ConfigurationError("runtimes must be non-negative")
+    return float(factor * arr.mean())
+
+
+def per_algorithm_skews(runtimes: Mapping[str, float], factor: float = 1.0) -> dict[str, float]:
+    """Per-algorithm maximum skew for the robustness experiments (Fig. 6)."""
+    if factor < 0:
+        raise ConfigurationError(f"factor must be non-negative, got {factor}")
+    out = {}
+    for name, t in runtimes.items():
+        if t < 0:
+            raise ConfigurationError(f"negative runtime for {name!r}")
+        out[name] = float(factor * t)
+    return out

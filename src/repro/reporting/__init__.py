@@ -1,0 +1,19 @@
+"""Plain-text rendering of experiment results (tables, grids, bars)."""
+
+from repro.reporting.ascii import (
+    render_bars,
+    render_grid,
+    render_series,
+    render_table,
+)
+from repro.reporting.export import grid_to_csv, results_to_json, to_jsonable
+
+__all__ = [
+    "render_table",
+    "render_grid",
+    "render_bars",
+    "render_series",
+    "grid_to_csv",
+    "results_to_json",
+    "to_jsonable",
+]

@@ -1,0 +1,112 @@
+"""ASCII renderers: aligned tables, labelled grids, horizontal bar charts.
+
+The experiment drivers print the same rows/series the paper's figures show;
+these helpers keep that output aligned and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "") -> str:
+    """A column-aligned table with a header rule."""
+    if not headers:
+        raise ConfigurationError("need at least one header")
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))).rstrip())
+    return "\n".join(lines)
+
+
+def render_grid(
+    grid: Mapping[str, Mapping[str, str]],
+    row_order: Sequence[str] | None = None,
+    col_order: Sequence[str] | None = None,
+    corner: str = "",
+    title: str = "",
+) -> str:
+    """A labelled cell grid: ``grid[row][col] = cell text``."""
+    rows = list(row_order) if row_order is not None else list(grid)
+    cols: list[str]
+    if col_order is not None:
+        cols = list(col_order)
+    else:
+        cols = []
+        for row in rows:
+            for col in grid.get(row, {}):
+                if col not in cols:
+                    cols.append(col)
+    body = [
+        [str(grid.get(row, {}).get(col, "-")) for col in cols]
+        for row in rows
+    ]
+    table_rows = [[row] + body[i] for i, row in enumerate(rows)]
+    return render_table([corner] + cols, table_rows, title=title)
+
+
+def render_bars(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart, scaled to the maximum value."""
+    if not values:
+        raise ConfigurationError("nothing to plot")
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(
+            f"{key.ljust(label_w)}  {bar.ljust(width)}  {fmt.format(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    values: Sequence[float],
+    height: int = 8,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """A crude line plot of a numeric series (used for Fig. 1's delay profile)."""
+    if len(values) == 0:
+        raise ConfigurationError("nothing to plot")
+    peak = max(values)
+    lo = min(values)
+    span = (peak - lo) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = lo + span * (level - 0.5) / height
+        line = "".join("#" if v >= threshold else " " for v in values)
+        prefix = f"{lo + span * level / height:10.3g} |" if level in (height, 1) else "           |"
+        rows.append(prefix + line)
+    axis = "           +" + "-" * len(values)
+    lines = [title] if title else []
+    if y_label:
+        lines.append(y_label)
+    lines.extend(rows)
+    lines.append(axis)
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Machine-readable export of experiment results (JSON / CSV)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert experiment results into JSON-serializable data.
+
+    Preference order: an object's own ``to_dict``, dataclass fields, mappings
+    (keys stringified — tuple keys become ``"a|b"``), sequences, numpy, then
+    the value itself.
+    """
+    import dataclasses
+
+    import numpy as np
+
+    if hasattr(obj, "to_dict"):
+        return to_jsonable(obj.to_dict())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {
+            "|".join(map(str, k)) if isinstance(k, tuple) else str(k): to_jsonable(v)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    return obj
+
+
+def results_to_json(path: str | Path, payload: Any) -> None:
+    """Dump any JSON-serializable experiment payload with stable formatting."""
+
+    Path(path).write_text(json.dumps(to_jsonable(payload), indent=2))
+
+
+def grid_to_csv(path: str | Path, grid: Mapping[str, Mapping[str, Any]],
+                row_label: str = "row") -> None:
+    """Write a row/col grid as CSV with a leading row-label column."""
+    cols: list[str] = []
+    for row in grid.values():
+        for col in row:
+            if col not in cols:
+                cols.append(col)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([row_label] + cols)
+        for row_name, row in grid.items():
+            writer.writerow([row_name] + [row.get(col, "") for col in cols])

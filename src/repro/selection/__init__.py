@@ -1,0 +1,42 @@
+"""Algorithm-selection strategies (the paper's contribution, Section V-C).
+
+Given benchmark sweeps across arrival patterns, a strategy picks one
+algorithm per (collective, communicator size, message size):
+
+* :class:`NoDelaySelector` — classic tuning: fastest under perfect
+  synchronization (what OSU-style micro-benchmarks give you).
+* :class:`RobustAverageSelector` — the paper's proposal: smallest *average
+  row-normalized runtime* across arrival patterns.
+* :class:`MinMaxSelector` — a stricter robustness variant: smallest
+  worst-case normalized runtime.
+* :class:`OracleSelector` — fastest under one known (e.g. traced) pattern;
+  the upper bound a perfect prediction could reach.
+"""
+
+from repro.selection.strategies import (
+    MinMaxSelector,
+    NoDelaySelector,
+    OracleSelector,
+    RobustAverageSelector,
+    SelectionStrategy,
+)
+from repro.selection.table import SelectionTable
+from repro.selection.ompi_rules import write_ompi_rules_file
+from repro.selection.online import (
+    AdaptiveSelector,
+    PatternClassifier,
+    run_adaptive_app,
+)
+
+__all__ = [
+    "SelectionStrategy",
+    "NoDelaySelector",
+    "RobustAverageSelector",
+    "MinMaxSelector",
+    "OracleSelector",
+    "SelectionTable",
+    "write_ompi_rules_file",
+    "AdaptiveSelector",
+    "PatternClassifier",
+    "run_adaptive_app",
+]

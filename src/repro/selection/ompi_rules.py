@@ -1,0 +1,74 @@
+"""Export a :class:`SelectionTable` as an Open MPI ``coll_tuned`` dynamic rules file.
+
+The produced file follows the classic ``coll_tuned_dynamic_rules_filename``
+format::
+
+    <number of collectives>
+    <collective id>          # coll_tuned component numbering
+    <number of comm sizes>
+    <comm size>
+    <number of message sizes>
+    <msg size> <algorithm id> <topo/fanout> <segment size>
+    ...
+
+so a table tuned inside the simulator can, in principle, be dropped onto a
+real Open MPI 4.1.x installation (algorithm IDs follow the paper's
+Table II via the registry's ``ompi_id``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.collectives.base import get_algorithm
+from repro.selection.table import SelectionTable
+
+#: Open MPI coll_tuned collective numbering (coll_base_functions.h order).
+OMPI_COLL_IDS = {
+    "allgather": 0,
+    "allgatherv": 1,
+    "allreduce": 2,
+    "alltoall": 3,
+    "alltoallv": 4,
+    "alltoallw": 5,
+    "barrier": 6,
+    "bcast": 7,
+    "exscan": 8,
+    "gather": 9,
+    "gatherv": 10,
+    "reduce": 11,
+    "reduce_scatter": 12,
+    "reduce_scatter_block": 13,
+    "scan": 14,
+    "scatter": 15,
+    "scatterv": 16,
+}
+
+
+def write_ompi_rules_file(path: str | Path, table: SelectionTable) -> None:
+    """Serialize ``table`` in coll_tuned dynamic-rules format."""
+    collectives = table.collectives
+    if not collectives:
+        raise ConfigurationError("selection table is empty")
+    lines: list[str] = [f"{len(collectives)}"]
+    for coll in collectives:
+        try:
+            coll_id = OMPI_COLL_IDS[coll]
+        except KeyError:
+            raise ConfigurationError(f"no Open MPI id for collective {coll!r}") from None
+        lines.append(f"{coll_id}  # {coll}")
+        sizes = table.comm_sizes(coll)
+        lines.append(f"{len(sizes)}")
+        for comm_size in sizes:
+            lines.append(f"{comm_size}  # comm size")
+            rules = table.rules_for(coll, comm_size)
+            lines.append(f"{len(rules)}")
+            for msg_bytes, algorithm in rules:
+                info = get_algorithm(coll, algorithm)
+                if info.ompi_id is None:
+                    raise ConfigurationError(
+                        f"{coll}/{algorithm} has no Open MPI algorithm id"
+                    )
+                lines.append(f"{int(msg_bytes)} {info.ompi_id} 0 0  # {algorithm}")
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,183 @@
+"""Online arrival-pattern detection and adaptive per-call selection.
+
+The paper's strategy is *static*: benchmark once, pick the most robust
+algorithm.  Its related work (Proficz's online arrival-pattern detection)
+motivates the obvious extension implemented here: observe the arrival
+pattern of each collective call at runtime and switch algorithms on the
+fly.
+
+Components:
+
+* :class:`PatternClassifier` — matches an observed per-rank delay vector to
+  the nearest Fig. 3 shape (cosine similarity on mean-centred profiles),
+  falling back to ``no_delay`` when the spread is negligible.
+* :class:`AdaptiveSelector` — holds a per-pattern best-algorithm table
+  (built from a :class:`~repro.bench.results.SweepResult`) and serves picks
+  conditioned on the most recently classified pattern.
+* :func:`run_adaptive_app` — an FT-like loop in which every rank allgathers
+  an 8-byte arrival timestamp after each collective (the realistic
+  measurement cost of online detection), classifies the pattern, and every
+  rank deterministically switches to the table's pick for the next call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.bench.results import SweepResult
+from repro.collectives import CollArgs, make_input, run_collective
+from repro.patterns.shapes import NO_DELAY, PATTERN_SHAPES
+from repro.sim.mpi import run_processes
+from repro.sim.network import NetworkParams
+from repro.sim.noise import NoiseModel
+from repro.sim.platform import Platform
+from repro.utils.seeding import spawn_rng
+
+
+class PatternClassifier:
+    """Nearest-shape classification of an observed per-rank delay vector."""
+
+    def __init__(self, num_ranks: int, min_spread: float = 1e-6, seed: int = 0) -> None:
+        if num_ranks <= 0:
+            raise ConfigurationError("num_ranks must be positive")
+        self.num_ranks = num_ranks
+        self.min_spread = min_spread
+        rng = spawn_rng(seed, "classifier")
+        self._templates: dict[str, np.ndarray] = {}
+        for name, fn in PATTERN_SHAPES.items():
+            template = fn(num_ranks, rng).astype(float)
+            centred = template - template.mean()
+            norm = np.linalg.norm(centred)
+            if norm > 0:
+                self._templates[name] = centred / norm
+
+    def classify(self, delays: np.ndarray) -> tuple[str, float]:
+        """Return ``(shape_name, magnitude)`` for an observed delay vector."""
+        delays = np.asarray(delays, dtype=float)
+        if delays.shape != (self.num_ranks,):
+            raise ConfigurationError(
+                f"expected {self.num_ranks} delays, got shape {delays.shape}"
+            )
+        spread = float(delays.max() - delays.min())
+        if spread < self.min_spread:
+            return NO_DELAY, spread
+        centred = delays - delays.mean()
+        norm = np.linalg.norm(centred)
+        if norm == 0:
+            return NO_DELAY, spread
+        unit = centred / norm
+        scores = {
+            name: float(unit @ template) for name, template in self._templates.items()
+        }
+        return max(scores, key=scores.get), spread
+
+
+@dataclass
+class AdaptiveSelector:
+    """Per-pattern best-algorithm table with a default fallback."""
+
+    table: dict[str, str]
+    default: str
+    classifier: PatternClassifier
+    history: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_sweep(cls, sweep: SweepResult, num_ranks: int, seed: int = 0
+                   ) -> "AdaptiveSelector":
+        table = {pattern: sweep.best_algorithm(pattern) for pattern in sweep.patterns}
+        default = table.get(NO_DELAY, next(iter(table.values())))
+        return cls(table=table, default=default,
+                   classifier=PatternClassifier(num_ranks, seed=seed))
+
+    def pick(self, observed_delays: np.ndarray | None) -> str:
+        """Algorithm for the next call given the last call's delay vector."""
+        if observed_delays is None:
+            choice = self.default
+        else:
+            shape, _mag = self.classifier.classify(observed_delays)
+            choice = self.table.get(shape, self.default)
+        self.history.append(choice)
+        return choice
+
+
+@dataclass
+class AdaptiveRunResult:
+    runtime: float
+    picks: list[str]
+
+    @property
+    def switches(self) -> int:
+        return sum(a != b for a, b in zip(self.picks, self.picks[1:]))
+
+
+def run_adaptive_app(
+    platform: Platform,
+    selector: AdaptiveSelector,
+    collective: str = "alltoall",
+    msg_bytes: float = 32768.0,
+    iterations: int = 20,
+    compute_per_iteration: float = 1.2e-3,
+    count: int = 64,
+    params: NetworkParams | None = None,
+    noise: NoiseModel | None = None,
+    extra_delay: Callable[[int, int], float] | None = None,
+    fixed_algorithm: str | None = None,
+) -> AdaptiveRunResult:
+    """Run an FT-like loop with per-call adaptive algorithm selection.
+
+    ``extra_delay(iteration, rank)`` injects controlled per-call imbalance
+    on top of the noise model (to script pattern phase changes).  Passing
+    ``fixed_algorithm`` disables adaptation — the static baseline with the
+    same measurement overhead, for a fair comparison.
+    """
+    p = platform.num_ranks
+    args = CollArgs(count=count, msg_bytes=msg_bytes)
+    probe_args = CollArgs(count=1, msg_bytes=8.0, tag=args.tag + 7)
+    inputs = [make_input(collective, r, p, count) for r in range(p)]
+    picks: list[str] = []
+
+    def prog(ctx):
+        me = ctx.rank
+        observed: np.ndarray | None = None
+        yield from ctx.barrier()
+        start = ctx.time()
+        for it in range(iterations):
+            yield ctx.compute(compute_per_iteration)
+            if extra_delay is not None:
+                penalty = extra_delay(it, me)
+                if penalty > 0:
+                    yield ctx.sleep(penalty)
+            algo = fixed_algorithm or selector.pick(observed)
+            if me == 0:
+                picks.append(algo)
+            arrival = ctx.time()
+            yield from run_collective(ctx, collective, algo, args, inputs[me])
+            # Online detection: allgather the 8-byte arrival timestamps.
+            gathered = yield from run_collective(
+                ctx, "allgather", "recursive_doubling", probe_args,
+                np.array([arrival]),
+            )
+            delays = gathered[:, 0]
+            observed = delays - delays.min()
+        return ctx.time() - start
+
+    run = run_processes(platform, prog, params=params, noise=noise)
+    # All ranks pick deterministically from the same observation; rank 0's
+    # record is authoritative.  Clear shared-selector history duplication.
+    selector.history = list(picks) if fixed_algorithm is None else []
+    return AdaptiveRunResult(
+        runtime=float(max(run.rank_results)),
+        picks=picks if fixed_algorithm is None else [fixed_algorithm] * iterations,
+    )
+
+
+__all__ = [
+    "PatternClassifier",
+    "AdaptiveSelector",
+    "AdaptiveRunResult",
+    "run_adaptive_app",
+]

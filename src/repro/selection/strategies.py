@@ -1,0 +1,95 @@
+"""Selection strategies over pattern sweeps."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.bench.results import SweepResult
+from repro.bench.robustness import average_normalized, normalize_rows
+from repro.patterns.shapes import NO_DELAY
+
+
+def _table(sweep: SweepResult) -> dict[str, dict[str, float]]:
+    """pattern -> algorithm -> mean last delay."""
+    return {pattern: sweep.row(pattern) for pattern in sweep.patterns}
+
+
+class SelectionStrategy(ABC):
+    """Picks one algorithm for the slice a :class:`SweepResult` covers."""
+
+    name: str = "strategy"
+
+    @abstractmethod
+    def score(self, sweep: SweepResult) -> dict[str, float]:
+        """Per-algorithm score; lower is better."""
+
+    def select(self, sweep: SweepResult) -> str:
+        scores = self.score(sweep)
+        if not scores:
+            raise ConfigurationError("sweep contains no algorithms")
+        return min(scores, key=scores.get)
+
+
+class NoDelaySelector(SelectionStrategy):
+    """Fastest algorithm when all ranks enter simultaneously."""
+
+    name = "no_delay"
+
+    def score(self, sweep: SweepResult) -> dict[str, float]:
+        if NO_DELAY not in sweep.patterns:
+            raise ConfigurationError("sweep has no no_delay baseline")
+        return sweep.row(NO_DELAY)
+
+
+class RobustAverageSelector(SelectionStrategy):
+    """The paper's strategy: lowest mean row-normalized runtime across patterns.
+
+    ``exclude`` removes rows from the average — e.g. a traced application
+    scenario, excluded to show the strategy works without application
+    knowledge (the paper's "Avg (excl. FT-Sce.)").
+    """
+
+    name = "robust_average"
+
+    def __init__(self, exclude: tuple[str, ...] = ()) -> None:
+        self.exclude = tuple(exclude)
+
+    def score(self, sweep: SweepResult) -> dict[str, float]:
+        return average_normalized(_table(sweep), exclude=self.exclude)
+
+
+class MinMaxSelector(SelectionStrategy):
+    """Lowest worst-case row-normalized runtime (most conservative)."""
+
+    name = "minmax"
+
+    def __init__(self, exclude: tuple[str, ...] = ()) -> None:
+        self.exclude = tuple(exclude)
+
+    def score(self, sweep: SweepResult) -> dict[str, float]:
+        table = {p: r for p, r in _table(sweep).items() if p not in self.exclude}
+        normalized = normalize_rows(table)
+        algorithms = sweep.algorithms
+        return {
+            algo: float(np.max([normalized[p][algo] for p in normalized]))
+            for algo in algorithms
+        }
+
+
+class OracleSelector(SelectionStrategy):
+    """Fastest under one specific (typically traced) pattern."""
+
+    name = "oracle"
+
+    def __init__(self, pattern_name: str) -> None:
+        self.pattern_name = pattern_name
+
+    def score(self, sweep: SweepResult) -> dict[str, float]:
+        if self.pattern_name not in sweep.patterns:
+            raise ConfigurationError(
+                f"sweep has no pattern {self.pattern_name!r}; has {sweep.patterns}"
+            )
+        return sweep.row(self.pattern_name)

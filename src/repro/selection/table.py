@@ -1,0 +1,104 @@
+"""Selection tables: the tuned decision logic produced by a strategy.
+
+A :class:`SelectionTable` maps ``(collective, comm_size, msg_bytes)`` to an
+algorithm name, with nearest-below message-size bucketing — the same
+shape as Open MPI's ``coll_tuned`` dynamic rules.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.bench.results import SweepResult
+from repro.selection.strategies import SelectionStrategy
+
+
+@dataclass
+class SelectionTable:
+    """Decision table built from sweeps by one strategy."""
+
+    strategy_name: str = ""
+    # (collective, comm_size) -> sorted list of (msg_bytes, algorithm)
+    _rules: dict[tuple[str, int], list[tuple[float, str]]] = field(default_factory=dict)
+
+    def add_rule(self, collective: str, comm_size: int, msg_bytes: float,
+                 algorithm: str) -> None:
+        if comm_size <= 0 or msg_bytes < 0:
+            raise ConfigurationError("invalid rule coordinates")
+        rules = self._rules.setdefault((collective, comm_size), [])
+        rules[:] = [(m, a) for m, a in rules if m != msg_bytes]
+        rules.append((float(msg_bytes), algorithm))
+        rules.sort()
+
+    def add_sweep(self, sweep: SweepResult, strategy: SelectionStrategy) -> str:
+        """Apply ``strategy`` to one sweep and record the winner; returns it."""
+        if not self.strategy_name:
+            self.strategy_name = strategy.name
+        winner = strategy.select(sweep)
+        self.add_rule(sweep.collective, sweep.num_ranks, sweep.msg_bytes, winner)
+        return winner
+
+    def lookup(self, collective: str, comm_size: int, msg_bytes: float,
+               exact_comm_size: bool = False) -> str:
+        """Algorithm for the nearest rule at or below ``msg_bytes``.
+
+        Communicator sizes bucket like Open MPI's dynamic rules: the rule
+        set of the largest tuned comm size **at or below** ``comm_size``
+        applies (falling back to the smallest tuned size when undershooting
+        every bucket).  Pass ``exact_comm_size=True`` to demand an exact
+        match instead.  Message sizes fall back to the smallest-size rule
+        when undershooting every bucket.  Raises when the collective has no
+        rules at all.
+        """
+        rules = self._rules.get((collective, comm_size))
+        if rules is None and not exact_comm_size:
+            tuned_sizes = self.comm_sizes(collective)
+            if tuned_sizes:
+                idx = bisect_right(tuned_sizes, comm_size) - 1
+                nearest = tuned_sizes[max(idx, 0)]
+                rules = self._rules.get((collective, nearest))
+        if not rules:
+            raise ConfigurationError(
+                f"no rules for {collective!r} at comm_size={comm_size}"
+            )
+        sizes = [m for m, _ in rules]
+        idx = bisect_right(sizes, msg_bytes) - 1
+        return rules[max(idx, 0)][1]
+
+    def comm_sizes(self, collective: str) -> list[int]:
+        return sorted(size for (coll, size) in self._rules if coll == collective)
+
+    def rules_for(self, collective: str, comm_size: int) -> list[tuple[float, str]]:
+        return list(self._rules.get((collective, comm_size), []))
+
+    @property
+    def collectives(self) -> list[str]:
+        return sorted({coll for (coll, _size) in self._rules})
+
+    # -- persistence ----------------------------------------------------- #
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy_name,
+            "rules": [
+                {"collective": coll, "comm_size": size, "msg_bytes": m, "algorithm": a}
+                for (coll, size), rules in sorted(self._rules.items())
+                for m, a in rules
+            ],
+        }
+
+    def save_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "SelectionTable":
+        data = json.loads(Path(path).read_text())
+        table = cls(strategy_name=data.get("strategy", ""))
+        for rule in data.get("rules", []):
+            table.add_rule(rule["collective"], int(rule["comm_size"]),
+                           float(rule["msg_bytes"]), rule["algorithm"])
+        return table

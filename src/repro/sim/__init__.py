@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate (SimGrid/SMPI analogue).
+
+The :mod:`repro.sim` package provides everything needed to run MPI-style
+programs on a simulated cluster:
+
+* :mod:`repro.sim.engine` — conservative discrete-event core; each simulated
+  MPI process is a Python generator resumed by the engine in timestamp order.
+* :mod:`repro.sim.network` — LogGP-flavoured message cost model with eager
+  and rendezvous protocols and per-port serialization.
+* :mod:`repro.sim.platform` — cluster topology descriptions and the machine
+  presets used throughout the paper reproduction.
+* :mod:`repro.sim.mpi` — the user-facing process context (`isend`, `irecv`,
+  `wait`, `sleep`, ...) and the job runner.
+* :mod:`repro.sim.noise` — system-noise models that perturb compute phases.
+"""
+
+from repro.sim.engine import Engine, Request
+from repro.sim.network import NetworkModel, NetworkParams
+from repro.sim.platform import Platform, MACHINES, get_machine
+from repro.sim.mpi import ProcContext, run_processes
+from repro.sim.noise import NoiseModel, NoiseProfile
+
+__all__ = [
+    "Engine",
+    "Request",
+    "NetworkModel",
+    "NetworkParams",
+    "Platform",
+    "MACHINES",
+    "get_machine",
+    "ProcContext",
+    "run_processes",
+    "NoiseModel",
+    "NoiseProfile",
+]

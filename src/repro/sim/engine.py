@@ -1,0 +1,593 @@
+"""Conservative discrete-event engine with generator-coroutine processes.
+
+Model
+-----
+Each simulated MPI process is a Python generator.  The engine resumes
+generators in global timestamp order; between two yields a process executes
+"instantaneously" except for explicit CPU overheads that advance its local
+clock.  A generator yields one of three blocking conditions:
+
+``("sleep", dt)``
+    resume ``dt`` simulated seconds later,
+``("until", t)``
+    resume at absolute simulated time ``t`` (or immediately if past),
+``("wait", [requests])``
+    resume when every :class:`Request` in the list has completed,
+``("wait_any", [requests])``
+    resume when at least one request has completed; the resume value is the
+    index of the earliest-completing request.
+
+Messaging follows a LogGP-flavoured cost model (see
+:class:`repro.sim.network.NetworkModel`):
+
+* the sender pays a CPU overhead ``o`` per message,
+* the message occupies the sender's private *injection port* for
+  ``bytes / bandwidth`` seconds (back-to-back sends serialize),
+* the wire adds latency ``L`` (intra- or inter-node),
+* optionally the message occupies the receiver's *extraction port*
+  (incast serialization).
+
+Messages up to the eager threshold use the *eager* protocol (the sender
+never blocks on the receiver).  Larger messages use *rendezvous*: an RTS
+control message travels to the receiver, the data transfer starts only once
+the matching receive is posted (plus a CTS latency back), so a late receiver
+stalls the sender — the first-order mechanism by which process-arrival skew
+propagates through large-message collectives.
+
+Determinism: the event heap breaks ties by insertion sequence; given the
+same inputs a simulation is bit-for-bit reproducible.
+
+One deliberate approximation: a process that is resumed at time ``T`` runs
+ahead to its next blocking point, claiming port time for operations stamped
+``T + k*o`` even though other heap events in ``(T, T + k*o)`` have not been
+processed yet.  Port bookkeeping is a max-chain, so this can only reorder
+grants within a few CPU-overhead periods (~1 µs) and never moves any event
+backwards in time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Iterator
+
+from repro.errors import DeadlockError, ProtocolError, SimulationError
+from repro.sim.network import NetworkModel
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+# Request kinds
+_SEND = 0
+_RECV = 1
+
+
+class Request:
+    """Handle for a pending non-blocking operation.
+
+    ``complete_time`` is ``None`` while the operation is in flight.  For
+    receives, ``payload`` holds the received data object (or ``None`` when
+    the sender attached no payload) once complete; ``source_rank`` and
+    ``recv_tag`` record the matched envelope, which is what callers need when
+    receiving with :data:`ANY_SOURCE` / :data:`ANY_TAG`.
+    """
+
+    __slots__ = (
+        "kind",
+        "owner",
+        "peer",
+        "tag",
+        "nbytes",
+        "complete_time",
+        "payload",
+        "source_rank",
+        "recv_tag",
+        "post_time",
+    )
+
+    def __init__(self, kind: int, owner: int, peer: int, tag: int, nbytes: int) -> None:
+        self.kind = kind
+        self.owner = owner
+        self.peer = peer
+        self.tag = tag
+        self.nbytes = nbytes
+        self.complete_time: float | None = None
+        self.payload: Any = None
+        self.source_rank: int | None = None
+        self.recv_tag: int | None = None
+        self.post_time: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.complete_time is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "send" if self.kind == _SEND else "recv"
+        state = f"done@{self.complete_time:.9f}" if self.done else "pending"
+        return f"<Request {kind} owner={self.owner} peer={self.peer} tag={self.tag} {state}>"
+
+
+class _Message:
+    """An in-flight message (eager data or rendezvous RTS)."""
+
+    __slots__ = ("src", "dst", "tag", "nbytes", "payload", "send_req", "eager", "arrival")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        nbytes: int,
+        payload: Any,
+        send_req: Request,
+        eager: bool,
+        arrival: float,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.payload = payload
+        self.send_req = send_req
+        self.eager = eager
+        self.arrival = arrival
+
+
+class _Fiber:
+    """One execution strand of a simulated process.
+
+    Every process has a *main* fiber; additional fibers model concurrently
+    progressing activities of the same rank (e.g. a hardware-offloaded
+    non-blocking collective).  Each fiber has its own clock and blocking
+    state; fibers of one rank share the rank's ports and message queues.
+
+    A finished fiber is itself waitable: it exposes the same
+    ``kind``/``owner``/``done``/``complete_time`` surface as a
+    :class:`Request`, so ``yield ctx.waitall(fiber)`` joins it.
+    """
+
+    __slots__ = (
+        "proc",
+        "gen",
+        "now",
+        "waiting",
+        "wait_any",
+        "done",
+        "blocked",
+        "result",
+        "complete_time",
+        "kind",
+        "owner",
+    )
+
+    def __init__(self, proc: "_Proc", gen: Iterator[Any] | None, now: float) -> None:
+        self.proc = proc
+        self.gen = gen
+        self.now = now
+        # Requests this fiber is currently blocked on (None when runnable).
+        self.waiting: list[Request] | None = None
+        # True when blocked on wait_any (first completion resumes).
+        self.wait_any = False
+        self.done = False
+        self.blocked = False
+        # Value returned by the generator (StopIteration.value).
+        self.result: Any = None
+        # Waitable surface (set when the fiber finishes).
+        self.complete_time: float | None = None
+        self.kind = _SEND  # joining is never a "foreign recv"
+        self.owner = proc.rank
+
+    @property
+    def rank(self) -> int:
+        return self.proc.rank
+
+
+class _Proc:
+    """Engine-internal rank-level state (ports, queues, fibers)."""
+
+    __slots__ = (
+        "rank",
+        "fibers",
+        "tx_free",
+        "rx_free",
+        "unexpected",
+        "posted",
+    )
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.fibers: list[_Fiber] = [_Fiber(self, None, 0.0)]
+        self.tx_free = 0.0
+        self.rx_free = 0.0
+        # (src, tag) -> deque of arrived-but-unmatched messages.
+        self.unexpected: dict[tuple[int, int], deque[_Message]] = {}
+        # (src, tag) -> deque of posted-but-unmatched recv requests.
+        self.posted: dict[tuple[int, int], deque[Request]] = {}
+
+    @property
+    def main(self) -> _Fiber:
+        return self.fibers[0]
+
+    @property
+    def now(self) -> float:
+        """The main fiber's clock (rank-level convenience view)."""
+        return self.main.now
+
+    @property
+    def done(self) -> bool:
+        return all(f.done for f in self.fibers)
+
+    @property
+    def result(self) -> Any:
+        return self.main.result
+
+
+class Engine:
+    """Discrete-event simulator for a fixed set of message-passing processes.
+
+    Parameters
+    ----------
+    num_procs:
+        Number of simulated MPI ranks.
+    network:
+        The :class:`~repro.sim.network.NetworkModel` that prices messages.
+    max_events:
+        Safety valve against runaway simulations; exceeding it raises
+        :class:`SimulationError`.
+    """
+
+    def __init__(self, num_procs: int, network: NetworkModel, max_events: int = 200_000_000):
+        if num_procs <= 0:
+            raise ProtocolError(f"num_procs must be positive, got {num_procs}")
+        self.num_procs = num_procs
+        self.network = network
+        self.max_events = max_events
+        self.procs = [_Proc(rank) for rank in range(num_procs)]
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._events_processed = 0
+        self.now = 0.0
+        # Shared per-node NIC ports for inter-node traffic (see NetworkModel).
+        self._node_tx_free = [0.0] * network.num_nodes
+        self._node_rx_free = [0.0] * network.num_nodes
+        self._node_of = network.node_of
+
+    # ------------------------------------------------------------------ #
+    # Event plumbing
+    # ------------------------------------------------------------------ #
+
+    def _schedule(self, time: float, action: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, action))
+
+    def set_process(self, rank: int, gen: Iterator[Any]) -> None:
+        """Install the generator driving rank ``rank`` and schedule its start."""
+        proc = self.procs[rank]
+        main = proc.main
+        if main.gen is not None:
+            raise ProtocolError(f"process {rank} already has a generator")
+        main.gen = gen
+        self._schedule(main.now, lambda f=main: self._resume(f, first=True))
+
+    def spawn_fiber(self, rank: int, gen: Iterator[Any] | None,
+                    start_time: float) -> _Fiber:
+        """Start an additional concurrently progressing fiber on ``rank``.
+
+        The fiber shares the rank's ports and message queues but has its own
+        clock, starting at ``start_time``.  The returned fiber is waitable
+        (``yield ctx.waitall(fiber)``) from fibers of the same rank.
+        ``gen`` may be installed after the call (before the engine first
+        resumes the fiber).
+        """
+        proc = self.procs[rank]
+        fiber = _Fiber(proc, gen, start_time)
+        proc.fibers.append(fiber)
+        self._schedule(start_time, lambda f=fiber: self._resume(f, first=True))
+        return fiber
+
+    def run(self) -> float:
+        """Run the simulation to completion; return the final simulated time.
+
+        Raises :class:`DeadlockError` if the event heap drains while some
+        processes are still blocked on requests that can never complete.
+        """
+        for proc in self.procs:
+            if proc.main.gen is None:
+                raise ProtocolError(f"process {proc.rank} has no generator installed")
+        while self._heap:
+            time, _seq, action = heapq.heappop(self._heap)
+            if time < self.now - 1e-15:
+                raise SimulationError(
+                    f"causality violation: event at {time} before clock {self.now}"
+                )
+            self.now = max(self.now, time)
+            self._events_processed += 1
+            if self._events_processed > self.max_events:
+                raise SimulationError(f"exceeded max_events={self.max_events}")
+            action()
+        blocked = [p.rank for p in self.procs if not p.done]
+        if blocked:
+            raise DeadlockError(blocked)
+        return self.now
+
+    # ------------------------------------------------------------------ #
+    # Process execution
+    # ------------------------------------------------------------------ #
+
+    def _resume(self, fiber: _Fiber, value: Any = None, first: bool = False) -> None:
+        """Advance ``fiber``'s generator until its next blocking condition."""
+        if fiber.done:
+            raise ProtocolError(f"resuming finished fiber of process {fiber.rank}")
+        fiber.blocked = False
+        gen = fiber.gen
+        assert gen is not None
+        try:
+            condition = next(gen) if first else gen.send(value)
+        except StopIteration as stop:
+            fiber.done = True
+            fiber.result = stop.value
+            fiber.complete_time = fiber.now
+            # Joiners (other fibers of this rank) may be waiting on us.
+            self._check_wait_done(fiber.proc)
+            return
+        self._apply_condition(fiber, condition)
+
+    def _apply_condition(self, fiber: _Fiber, condition: Any) -> None:
+        try:
+            kind = condition[0]
+        except (TypeError, IndexError):
+            raise ProtocolError(
+                f"process {fiber.rank} yielded invalid condition {condition!r}"
+            ) from None
+        if kind in ("wait", "wait_any"):
+            requests: list[Request] = condition[1]
+            any_mode = kind == "wait_any"
+            for req in requests:
+                if req.kind == _RECV and req.owner != fiber.rank:
+                    raise ProtocolError(
+                        f"process {fiber.rank} waiting on foreign recv of rank {req.owner}"
+                    )
+            if any_mode:
+                done_times = [
+                    (r.complete_time, i) for i, r in enumerate(requests) if r.done
+                ]
+                if done_times:
+                    when, index = min(done_times)
+                    resume_at = max(fiber.now, when)
+                    fiber.now = resume_at
+                    self._schedule(resume_at, lambda f=fiber, i=index: self._resume(f, i))
+                else:
+                    fiber.waiting = requests
+                    fiber.wait_any = True
+                    fiber.blocked = True
+                return
+            pending = [r for r in requests if not r.done]
+            if not pending:
+                resume_at = max([fiber.now] + [r.complete_time for r in requests])  # type: ignore[list-item]
+                fiber.now = resume_at
+                self._schedule(resume_at, lambda f=fiber: self._resume(f))
+            else:
+                fiber.waiting = requests
+                fiber.wait_any = False
+                fiber.blocked = True
+        elif kind == "sleep":
+            dt = condition[1]
+            if dt < 0:
+                raise ProtocolError(f"process {fiber.rank} slept for negative time {dt}")
+            fiber.now += dt
+            self._schedule(fiber.now, lambda f=fiber: self._resume(f))
+        elif kind == "until":
+            target = condition[1]
+            fiber.now = max(fiber.now, target)
+            self._schedule(fiber.now, lambda f=fiber: self._resume(f))
+        else:
+            raise ProtocolError(
+                f"process {fiber.rank} yielded unknown condition {condition!r}"
+            )
+
+    def _check_wait_done(self, proc: _Proc) -> None:
+        """Schedule resumes for any fiber whose blocking condition is satisfied."""
+        for fiber in proc.fibers:
+            if not fiber.blocked or fiber.waiting is None:
+                continue
+            if fiber.wait_any:
+                done_times = [
+                    (r.complete_time, i) for i, r in enumerate(fiber.waiting) if r.done
+                ]
+                if done_times:
+                    when, index = min(done_times)
+                    resume_at = max(fiber.now, when)
+                    fiber.waiting = None
+                    fiber.wait_any = False
+                    fiber.blocked = False
+                    fiber.now = resume_at
+                    self._schedule(
+                        resume_at, lambda f=fiber, i=index: self._resume(f, i)
+                    )
+                continue
+            if all(r.done for r in fiber.waiting):
+                resume_at = max(
+                    [fiber.now] + [r.complete_time for r in fiber.waiting]  # type: ignore[list-item]
+                )
+                fiber.waiting = None
+                fiber.blocked = False
+                fiber.now = resume_at
+                self._schedule(resume_at, lambda f=fiber: self._resume(f))
+
+    # ------------------------------------------------------------------ #
+    # Point-to-point messaging
+    # ------------------------------------------------------------------ #
+
+    def post_isend(
+        self, src: int, dst: int, nbytes: int, tag: int, payload: Any = None,
+        sync: bool = False, fiber: _Fiber | None = None,
+    ) -> Request:
+        """Post a non-blocking send from ``src``'s current local time.
+
+        ``sync=True`` forces the rendezvous protocol regardless of size
+        (``MPI_Issend`` semantics): the send cannot complete before the
+        matching receive is posted.  ``fiber`` selects which of the rank's
+        fibers posts (and pays the CPU overhead); default is the main fiber.
+        """
+        if not (0 <= dst < self.num_procs):
+            raise ProtocolError(f"isend to invalid rank {dst}")
+        if nbytes < 0:
+            raise ProtocolError(f"isend with negative size {nbytes}")
+        if tag < 0:
+            raise ProtocolError(f"isend with negative tag {tag} (reserved for wildcards)")
+        proc = self.procs[src]
+        fib = fiber if fiber is not None else proc.main
+        net = self.network
+        req = Request(_SEND, src, dst, tag, nbytes)
+        req.post_time = fib.now
+        fib.now += net.send_overhead
+        if net.is_eager(nbytes) and not sync:
+            tx_end = self._claim_tx(proc, dst, fib.now, nbytes)
+            req.complete_time = tx_end
+            arrival = tx_end + net.latency(src, dst)
+            msg = _Message(src, dst, tag, nbytes, payload, req, True, arrival)
+            self._schedule(arrival, lambda m=msg: self._deliver(m))
+        else:
+            # Rendezvous: the RTS travels now; data moves once matched.
+            rts_arrival = fib.now + net.latency(src, dst)
+            msg = _Message(src, dst, tag, nbytes, payload, req, False, rts_arrival)
+            self._schedule(rts_arrival, lambda m=msg: self._deliver(m))
+        return req
+
+    def post_irecv(self, dst: int, src: int, tag: int, nbytes: int = 0,
+                   fiber: _Fiber | None = None) -> Request:
+        """Post a non-blocking receive at ``dst``'s current local time.
+
+        ``src`` may be :data:`ANY_SOURCE` and ``tag`` may be :data:`ANY_TAG`.
+        """
+        if src != ANY_SOURCE and not (0 <= src < self.num_procs):
+            raise ProtocolError(f"irecv from invalid rank {src}")
+        proc = self.procs[dst]
+        fib = fiber if fiber is not None else proc.main
+        req = Request(_RECV, dst, src, tag, nbytes)
+        req.post_time = fib.now
+        fib.now += self.network.recv_overhead
+        msg = self._match_unexpected(proc, src, tag)
+        if msg is not None:
+            self._complete_match(proc, req, msg)
+        else:
+            proc.posted.setdefault((src, tag), deque()).append(req)
+        return req
+
+    # -- matching ------------------------------------------------------- #
+
+    def _match_unexpected(self, proc: _Proc, src: int, tag: int) -> _Message | None:
+        """Find the earliest-arrived unexpected message matching (src, tag)."""
+        candidates: list[tuple[float, tuple[int, int]]] = []
+        for (msrc, mtag), queue in proc.unexpected.items():
+            if not queue:
+                continue
+            if (src == ANY_SOURCE or msrc == src) and (tag == ANY_TAG or mtag == tag):
+                candidates.append((queue[0].arrival, (msrc, mtag)))
+        if not candidates:
+            return None
+        _, key = min(candidates)
+        return proc.unexpected[key].popleft()
+
+    def _match_posted(self, proc: _Proc, msg: _Message) -> Request | None:
+        """Find the earliest-posted receive matching an arriving message."""
+        candidates: list[tuple[float, tuple[int, int]]] = []
+        for key in (
+            (msg.src, msg.tag),
+            (ANY_SOURCE, msg.tag),
+            (msg.src, ANY_TAG),
+            (ANY_SOURCE, ANY_TAG),
+        ):
+            queue = proc.posted.get(key)
+            if queue:
+                candidates.append((queue[0].post_time, key))
+        if not candidates:
+            return None
+        _, key = min(candidates)
+        return proc.posted[key].popleft()
+
+    def _deliver(self, msg: _Message) -> None:
+        """Handle arrival of an eager payload or a rendezvous RTS at the receiver."""
+        proc = self.procs[msg.dst]
+        recv_req = self._match_posted(proc, msg)
+        if recv_req is None:
+            proc.unexpected.setdefault((msg.src, msg.tag), deque()).append(msg)
+        else:
+            self._complete_match(proc, recv_req, msg)
+
+    def _complete_match(self, proc: _Proc, recv_req: Request, msg: _Message) -> None:
+        """A send and a receive have met; finish the transfer."""
+        net = self.network
+        if msg.eager:
+            ready = max(recv_req.post_time, msg.arrival)
+            delivered = self._extract(proc, ready, msg.nbytes, msg.src)
+            self._finish_recv(proc, recv_req, msg, delivered)
+        else:
+            # Rendezvous handshake: CTS back to the sender, then the data.
+            handshake_done = max(recv_req.post_time, msg.arrival)
+            cts_arrival = handshake_done + net.latency(msg.dst, msg.src)
+            sender = self.procs[msg.src]
+            tx_end = self._claim_tx(sender, msg.dst, cts_arrival, msg.nbytes)
+            send_req = msg.send_req
+            send_req.complete_time = tx_end
+            self._check_wait_done(sender)
+            arrival = tx_end + net.latency(msg.src, msg.dst)
+
+            def _arrive(m: _Message = msg, r: Request = recv_req, t: float = arrival) -> None:
+                p = self.procs[m.dst]
+                delivered = self._extract(p, t, m.nbytes, m.src)
+                self._finish_recv(p, r, m, delivered)
+
+            self._schedule(arrival, _arrive)
+
+    def _claim_tx(self, proc: _Proc, dst: int, ready: float, nbytes: int) -> float:
+        """Claim injection-port time: the node NIC for inter-node messages
+        (when shared-NIC modelling is on), the rank's private port otherwise."""
+        net = self.network
+        tx_time = net.transmission_time(proc.rank, dst, nbytes)
+        src_node = self._node_of[proc.rank]
+        if net.shared_node_nic and src_node != self._node_of[dst]:
+            start = max(ready, self._node_tx_free[src_node])
+            end = start + tx_time
+            self._node_tx_free[src_node] = end
+        else:
+            start = max(ready, proc.tx_free)
+            end = start + tx_time
+            proc.tx_free = end
+        return end
+
+    def _extract(self, proc: _Proc, ready: float, nbytes: int, src: int) -> float:
+        """Serialize the message through the receiver's extraction port."""
+        net = self.network
+        if not net.rx_serialization:
+            return ready
+        rx_time = net.transmission_time(src, proc.rank, nbytes)
+        dst_node = self._node_of[proc.rank]
+        if net.shared_node_nic and self._node_of[src] != dst_node:
+            rx_start = max(ready, self._node_rx_free[dst_node])
+            delivered = rx_start + rx_time
+            self._node_rx_free[dst_node] = delivered
+        else:
+            rx_start = max(ready, proc.rx_free)
+            delivered = rx_start + rx_time
+            proc.rx_free = delivered
+        return delivered
+
+    def _finish_recv(self, proc: _Proc, recv_req: Request, msg: _Message, when: float) -> None:
+        recv_req.complete_time = when
+        recv_req.payload = msg.payload
+        recv_req.source_rank = msg.src
+        recv_req.recv_tag = msg.tag
+        self._check_wait_done(proc)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def proc_time(self, rank: int) -> float:
+        """Current local simulated time of rank ``rank``."""
+        return self.procs[rank].now

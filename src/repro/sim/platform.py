@@ -1,0 +1,187 @@
+"""Cluster topology descriptions and machine presets.
+
+A :class:`Platform` is a two-level hierarchy — ``nodes`` compute nodes with
+``cores_per_node`` cores each — matching the paper's simulation platform and
+the three production machines of Table I.  Ranks are mapped to nodes in
+block order (rank ``i`` runs on node ``i // cores_per_node``), the usual
+``--map-by core`` layout.
+
+The presets deliberately scale *node counts* down (the paper uses 32 x 32 =
+1024 ranks; pure-Python simulation of O(p^2) collectives at that scale is
+impractical for full parameter sweeps) while keeping each machine's relative
+network characteristics: Hydra is an Omni-Path 100 Gbit/s system, Galileo100
+an InfiniBand HDR100 system with a noisier interconnect, Discoverer an HDR
+Dragonfly+ system with lower effective latency.  See DESIGN.md for the scale
+substitution argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A hierarchical cluster: ``nodes`` x ``cores_per_node`` ranks.
+
+    ``nodes_per_group`` optionally adds a third level (e.g. Dragonfly+
+    groups or fat-tree pods): nodes in the same group communicate over the
+    inter-node link, nodes in different groups over the (typically slower)
+    inter-group link.  ``None`` keeps the classic two-level hierarchy.
+    """
+
+    name: str
+    nodes: int
+    cores_per_node: int
+    nodes_per_group: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0 or self.cores_per_node <= 0:
+            raise ConfigurationError(
+                f"platform {self.name!r} needs positive nodes/cores, "
+                f"got {self.nodes} x {self.cores_per_node}"
+            )
+        if self.nodes_per_group is not None and self.nodes_per_group <= 0:
+            raise ConfigurationError(
+                f"platform {self.name!r}: nodes_per_group must be positive"
+            )
+
+    @property
+    def num_ranks(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def node_of_rank(self, rank: int) -> int:
+        if not (0 <= rank < self.num_ranks):
+            raise ConfigurationError(f"rank {rank} out of range for {self.name}")
+        return rank // self.cores_per_node
+
+    def node_of_rank_table(self) -> list[int]:
+        """Flat rank -> node lookup table for the network model's hot path."""
+        return [r // self.cores_per_node for r in range(self.num_ranks)]
+
+    def ranks_of_node(self, node: int) -> range:
+        if not (0 <= node < self.nodes):
+            raise ConfigurationError(f"node {node} out of range for {self.name}")
+        start = node * self.cores_per_node
+        return range(start, start + self.cores_per_node)
+
+    @property
+    def num_groups(self) -> int:
+        if self.nodes_per_group is None:
+            return 1
+        return (self.nodes + self.nodes_per_group - 1) // self.nodes_per_group
+
+    def group_of_node(self, node: int) -> int:
+        if not (0 <= node < self.nodes):
+            raise ConfigurationError(f"node {node} out of range for {self.name}")
+        if self.nodes_per_group is None:
+            return 0
+        return node // self.nodes_per_group
+
+    def group_of_rank_table(self) -> list[int]:
+        """Flat rank -> group lookup table."""
+        return [self.group_of_node(n) for n in self.node_of_rank_table()]
+
+    def scaled(self, nodes: int | None = None, cores_per_node: int | None = None) -> "Platform":
+        """A copy with a different size (used to scale experiments up/down)."""
+        return replace(
+            self,
+            nodes=self.nodes if nodes is None else nodes,
+            cores_per_node=self.cores_per_node if cores_per_node is None else cores_per_node,
+        )
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Bundle of everything that characterizes one experimental machine.
+
+    ``network`` fields are stored as a plain dict so :mod:`repro.sim.network`
+    can stay import-independent of this module's preset table; use
+    :func:`get_machine` to obtain constructed objects.
+    """
+
+    platform: Platform
+    network: dict = field(default_factory=dict)
+    noise_profile: str = "quiet"
+    description: str = ""
+    mpi_version: str = ""
+    interconnect: str = ""
+
+
+def _gbit(gbits: float) -> float:
+    """Gigabits/s -> bytes/s."""
+    return gbits * 1e9 / 8.0
+
+
+#: Machine presets.  ``simcluster`` is the Section III-A simulation platform;
+#: the other three are analogues of the paper's Table I machines.  Node
+#: counts default to a tractable scale; experiment drivers may rescale.
+MACHINES: dict[str, MachineSpec] = {
+    "simcluster": MachineSpec(
+        platform=Platform("simcluster", nodes=32, cores_per_node=32),
+        network=dict(
+            intra_latency=1e-6,
+            inter_latency=2e-6,
+            intra_bandwidth=_gbit(10),
+            inter_bandwidth=_gbit(10),
+        ),
+        noise_profile="none",
+        description="Paper Sec. III-A simulation platform (32x32, 10 Gbps, 1/2 us)",
+        interconnect="simulated switch (10 Gbit/s)",
+        mpi_version="SimGrid 3.35 analogue",
+    ),
+    "hydra": MachineSpec(
+        platform=Platform("hydra", nodes=32, cores_per_node=32),
+        network=dict(
+            intra_latency=0.6e-6,
+            inter_latency=1.4e-6,
+            intra_bandwidth=_gbit(80),
+            inter_bandwidth=_gbit(100),
+        ),
+        noise_profile="moderate",
+        description="Hydra analogue: dual-socket Xeon, Intel Omni-Path 100 Gbit/s",
+        interconnect="Intel Omni-Path (100 Gbit/s)",
+        mpi_version="Open MPI 4.1.5",
+    ),
+    "galileo100": MachineSpec(
+        platform=Platform("galileo100", nodes=32, cores_per_node=32),
+        network=dict(
+            intra_latency=0.7e-6,
+            inter_latency=1.8e-6,
+            intra_bandwidth=_gbit(70),
+            inter_bandwidth=_gbit(100),
+        ),
+        noise_profile="noisy",
+        description="Galileo100 analogue: CascadeLake, InfiniBand HDR100, shared production system",
+        interconnect="Mellanox InfiniBand HDR100",
+        mpi_version="Open MPI 4.1.1",
+    ),
+    "discoverer": MachineSpec(
+        platform=Platform("discoverer", nodes=32, cores_per_node=32, nodes_per_group=8),
+        network=dict(
+            intra_latency=0.5e-6,
+            inter_latency=1.1e-6,
+            intra_bandwidth=_gbit(120),
+            inter_bandwidth=_gbit(200),
+            # Dragonfly+ global (inter-group) links: one extra optical hop.
+            group_latency=1.7e-6,
+            group_bandwidth=_gbit(200),
+        ),
+        noise_profile="moderate",
+        description="Discoverer analogue: AMD Epyc, InfiniBand HDR Dragonfly+",
+        interconnect="InfiniBand HDR (Dragonfly+)",
+        mpi_version="Open MPI 4.1.4",
+    ),
+}
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine preset by (case-insensitive) name."""
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        ) from None

@@ -1,0 +1,26 @@
+"""Collective-call tracing (the paper's PMPI tracing library, Section V-A).
+
+The tracer records, for every (sampled) collective call, each rank's
+arrival and exit timestamps on a synchronized clock.  Analysis then derives
+the per-rank average delay relative to the first-arriving rank (the paper's
+Fig. 1) and converts it into a replayable arrival pattern — the
+*FT-Scenario* when traced from the FT proxy application.
+"""
+
+from repro.tracing.tracer import CollectiveTracer, TraceEvent
+from repro.tracing.analysis import (
+    average_delay_per_rank,
+    max_observed_skew,
+    pattern_from_trace,
+)
+from repro.tracing.tracefile import read_trace, write_trace
+
+__all__ = [
+    "CollectiveTracer",
+    "TraceEvent",
+    "average_delay_per_rank",
+    "max_observed_skew",
+    "pattern_from_trace",
+    "read_trace",
+    "write_trace",
+]

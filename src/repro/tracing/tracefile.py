@@ -1,0 +1,72 @@
+"""Trace persistence: JSON-lines files, one event per line.
+
+A portable, appendable format mirroring what the real tracing library would
+write per rank: header line with metadata, then one JSON object per event.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import TraceFormatError
+from repro.tracing.tracer import CollectiveTracer, TraceEvent
+
+_HEADER_MAGIC = "repro-trace"
+_VERSION = 1
+
+
+def write_trace(path: str | Path, tracer: CollectiveTracer, metadata: dict | None = None) -> None:
+    """Write all recorded events as JSONL with a metadata header."""
+    path = Path(path)
+    header = {
+        "magic": _HEADER_MAGIC,
+        "version": _VERSION,
+        "num_events": len(tracer.events),
+        "call_sampling": tracer.call_sampling,
+        **(metadata or {}),
+    }
+    with open(path, "w") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for ev in tracer.events:
+            fh.write(
+                json.dumps(
+                    {
+                        "c": ev.collective,
+                        "s": ev.sequence,
+                        "r": ev.rank,
+                        "a": ev.arrival,
+                        "e": ev.exit,
+                    }
+                )
+                + "\n"
+            )
+
+
+def read_trace(path: str | Path) -> tuple[CollectiveTracer, dict]:
+    """Read a trace file back into a tracer; returns ``(tracer, metadata)``."""
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    if not lines:
+        raise TraceFormatError(f"{path}: empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{path}: bad header: {exc}") from None
+    if header.get("magic") != _HEADER_MAGIC:
+        raise TraceFormatError(f"{path}: not a repro trace file")
+    if header.get("version") != _VERSION:
+        raise TraceFormatError(f"{path}: unsupported version {header.get('version')}")
+    tracer = CollectiveTracer(call_sampling=int(header.get("call_sampling", 1)))
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+            tracer.events.append(
+                TraceEvent(obj["c"], int(obj["s"]), int(obj["r"]),
+                           float(obj["a"]), float(obj["e"]))
+            )
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            raise TraceFormatError(f"{path}:{lineno}: bad event: {exc}") from None
+    return tracer, {k: v for k, v in header.items() if k not in ("magic", "version")}

@@ -1,0 +1,99 @@
+"""The tracing library: interpose on collective calls and record timestamps.
+
+Mirrors the paper's PMPI-based tracer: it records *only* collectives, it
+synchronizes clocks before tracing starts (in the simulator the perfect
+global clock plays that role; a :class:`~repro.clocks.sync.SyncedClocks`
+stack can be layered for realism), and it supports sampling — trace every
+``k``-th call and/or a subset of ranks — to keep traces small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.collectives import CollArgs, run_collective
+from repro.sim.mpi import ProcContext
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One rank's view of one traced collective call."""
+
+    collective: str
+    sequence: int
+    rank: int
+    arrival: float
+    exit: float
+
+    def __post_init__(self) -> None:
+        if self.exit < self.arrival:
+            raise ConfigurationError("exit before arrival in trace event")
+
+
+class CollectiveTracer:
+    """Collects :class:`TraceEvent` records during a simulation run.
+
+    One tracer instance is shared by all ranks of a job (the simulator's
+    single address space stands in for the per-rank trace files that a real
+    PMPI tracer would write and merge).
+
+    Parameters
+    ----------
+    call_sampling:
+        Record every ``call_sampling``-th call per collective (1 = all).
+    ranks:
+        Restrict tracing to these ranks (``None`` = all ranks).
+    """
+
+    def __init__(self, call_sampling: int = 1, ranks: Iterable[int] | None = None) -> None:
+        if call_sampling < 1:
+            raise ConfigurationError("call_sampling must be >= 1")
+        self.call_sampling = call_sampling
+        self.ranks = None if ranks is None else frozenset(ranks)
+        self.events: list[TraceEvent] = []
+        self._sequence: dict[tuple[str, int], int] = {}
+
+    def _next_sequence(self, collective: str, rank: int) -> int:
+        key = (collective, rank)
+        seq = self._sequence.get(key, 0)
+        self._sequence[key] = seq + 1
+        return seq
+
+    def should_record(self, rank: int, sequence: int) -> bool:
+        if self.ranks is not None and rank not in self.ranks:
+            return False
+        return sequence % self.call_sampling == 0
+
+    def record(self, collective: str, sequence: int, rank: int,
+               arrival: float, exit: float) -> None:
+        self.events.append(TraceEvent(collective, sequence, rank, arrival, exit))
+
+    def traced(self, ctx: ProcContext, collective: str, algorithm: str,
+               args: CollArgs, data):
+        """Generator wrapping a collective call with arrival/exit tracing.
+
+        Drop-in replacement for :func:`repro.collectives.run_collective` —
+        this is the simulated analogue of PMPI interposition.
+        """
+        sequence = self._next_sequence(collective, ctx.rank)
+        arrival = ctx.time()
+        result = yield from run_collective(ctx, collective, algorithm, args, data)
+        if self.should_record(ctx.rank, sequence):
+            self.record(collective, sequence, ctx.rank, arrival, ctx.time())
+        return result
+
+    # -- views ----------------------------------------------------------- #
+
+    def calls(self, collective: str | None = None) -> dict[int, list[TraceEvent]]:
+        """Events grouped by sequence number (optionally one collective only)."""
+        out: dict[int, list[TraceEvent]] = {}
+        for ev in self.events:
+            if collective is not None and ev.collective != collective:
+                continue
+            out.setdefault(ev.sequence, []).append(ev)
+        return out
+
+    def num_calls(self, collective: str | None = None) -> int:
+        return len(self.calls(collective))

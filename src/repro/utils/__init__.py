@@ -1,0 +1,26 @@
+"""Shared helpers: byte-size parsing/formatting, seeding, validation."""
+
+from repro.utils.units import (
+    format_bytes,
+    format_time,
+    parse_bytes,
+    MICROSECOND,
+    MILLISECOND,
+    KIB,
+    MIB,
+    GIB,
+)
+from repro.utils.seeding import spawn_rng, derive_seed
+
+__all__ = [
+    "format_bytes",
+    "format_time",
+    "parse_bytes",
+    "spawn_rng",
+    "derive_seed",
+    "MICROSECOND",
+    "MILLISECOND",
+    "KIB",
+    "MIB",
+    "GIB",
+]

@@ -1,0 +1,125 @@
+"""Tests for the proxy applications."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.apps import CGProxy, FTProxy, IterativeProxyApp
+from repro.sim.network import NetworkParams
+from repro.sim.platform import Platform, get_machine
+
+
+class TestIterativeProxyApp:
+    def test_accounting_sums_to_runtime(self):
+        app = IterativeProxyApp(
+            platform=Platform("t", nodes=2, cores_per_node=4),
+            collective="allreduce",
+            algorithm="ring",
+            msg_bytes=1024,
+            iterations=5,
+            calls_per_iteration=2,
+            compute_per_iteration=1e-3,
+        )
+        result = app.run()
+        assert result.collective_calls == 10
+        # Per-rank compute + MPI accounts for (almost) the whole runtime.
+        totals = result.rank_compute_time + result.rank_mpi_time
+        assert np.all(totals <= result.runtime + 1e-9)
+        assert totals.max() == pytest.approx(result.runtime, rel=0.05)
+
+    def test_without_noise_compute_is_exact(self):
+        app = IterativeProxyApp(
+            platform=Platform("t", nodes=1, cores_per_node=4),
+            collective="allreduce",
+            algorithm="ring",
+            msg_bytes=64,
+            iterations=3,
+            calls_per_iteration=1,
+            compute_per_iteration=2e-3,
+        )
+        result = app.run()
+        assert np.allclose(result.rank_compute_time, 6e-3, rtol=1e-6)
+
+    def test_validation(self):
+        plat = Platform("t", nodes=1, cores_per_node=2)
+        with pytest.raises(ConfigurationError):
+            IterativeProxyApp(plat, "alltoall", "bruck", 64, iterations=0)
+        with pytest.raises(ConfigurationError):
+            IterativeProxyApp(plat, "alltoall", "bruck", 64, compute_per_iteration=-1)
+
+
+class TestFTProxy:
+    def test_paper_message_size_default(self):
+        spec = get_machine("hydra")
+        ft = FTProxy.class_d_scaled(spec, nodes=2, cores_per_node=4)
+        assert ft.msg_bytes == 32768.0
+        assert ft.collective == "alltoall"
+
+    def test_algorithm_choice_changes_runtime(self):
+        spec = get_machine("hydra")
+        runtimes = {}
+        for algo in ("bruck", "pairwise"):
+            ft = FTProxy.class_d_scaled(spec, nodes=4, cores_per_node=4,
+                                        seed=3, algorithm=algo)
+            runtimes[algo] = ft.run().runtime
+        assert runtimes["bruck"] != runtimes["pairwise"]
+
+    def test_deterministic_given_seed(self):
+        spec = get_machine("galileo100")
+        mk = lambda: FTProxy.class_d_scaled(spec, nodes=2, cores_per_node=4, seed=11)  # noqa: E731
+        assert mk().run().runtime == mk().run().runtime
+
+    def test_noise_seed_changes_runtime(self):
+        spec = get_machine("galileo100")
+        a = FTProxy.class_d_scaled(spec, nodes=2, cores_per_node=4, seed=1).run()
+        b = FTProxy.class_d_scaled(spec, nodes=2, cores_per_node=4, seed=2).run()
+        assert a.runtime != b.runtime
+
+
+class TestFTClasses:
+    def test_class_d_at_1024_ranks_matches_the_paper(self):
+        from repro.apps.ft import ft_message_bytes
+
+        assert ft_message_bytes("D", 1024) == 32768.0
+
+    @pytest.mark.parametrize("cls_name", ["S", "W", "A", "B", "C", "D", "E"])
+    def test_message_bytes_scale_inverse_square(self, cls_name):
+        from repro.apps.ft import ft_message_bytes
+
+        m32 = ft_message_bytes(cls_name, 32)
+        m64 = ft_message_bytes(cls_name, 64)
+        assert m32 == pytest.approx(4 * m64)
+
+    def test_unknown_class_rejected(self):
+        from repro.apps.ft import ft_message_bytes
+
+        with pytest.raises(ValueError):
+            ft_message_bytes("Z", 32)
+        with pytest.raises(ValueError):
+            ft_message_bytes("D", 0)
+
+    def test_for_class_builds_consistent_app(self):
+        from repro.apps.ft import ft_message_bytes
+
+        spec = get_machine("hydra")
+        ft = FTProxy.for_class("A", spec, nodes=4, cores_per_node=4,
+                               iterations=3)
+        assert ft.msg_bytes == ft_message_bytes("A", 16)
+        assert ft.compute_per_iteration > 0
+        result = ft.run()
+        assert result.runtime > 0
+        assert 0 < result.mpi_fraction < 1
+
+
+class TestCGProxy:
+    def test_cg_is_allreduce_dominant_and_cheap_on_comm(self):
+        app = CGProxy(
+            platform=Platform("t", nodes=2, cores_per_node=4),
+            iterations=10,
+        )
+        result = app.run()
+        assert result.collective_calls == 20
+        # Tiny allreduces: MPI fraction must be small without noise.
+        assert result.mpi_fraction < 0.2

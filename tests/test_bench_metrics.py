@@ -1,0 +1,120 @@
+"""Tests for the delay metrics and result containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.bench.metrics import CollectiveTiming, last_delay, total_delay
+from repro.bench.results import BenchResult, SweepResult
+
+
+class TestDelayMetrics:
+    def test_paper_equations_on_figure2_example(self):
+        # 4 ranks: arrivals 0, 1, 3, 2; exits 5, 6, 7, 8.
+        a = np.array([0.0, 1.0, 3.0, 2.0])
+        e = np.array([5.0, 6.0, 7.0, 8.0])
+        assert total_delay(a, e) == 8.0  # max(e) - min(a)
+        assert last_delay(a, e) == 5.0  # max(e) - max(a)
+
+    def test_synchronized_case_metrics_agree(self):
+        a = np.zeros(4)
+        e = np.array([1.0, 2.0, 1.5, 1.2])
+        assert total_delay(a, e) == last_delay(a, e) == 2.0
+
+    def test_last_delay_excludes_imposed_waiting(self):
+        """A hugely delayed rank inflates d* but not necessarily d^."""
+        a = np.array([0.0, 0.0, 0.0, 100.0])
+        e = np.array([0.5, 0.5, 0.5, 100.5])
+        assert total_delay(a, e) == pytest.approx(100.5)
+        assert last_delay(a, e) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            total_delay(np.array([0.0]), np.array([0.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            last_delay(np.array([2.0]), np.array([1.0]))  # exit before arrival
+        with pytest.raises(ConfigurationError):
+            total_delay(np.array([]), np.array([]))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                st.floats(min_value=0, max_value=10, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_total_delay_dominates_last_delay(self, pairs):
+        a = np.array([p[0] for p in pairs])
+        e = a + np.array([p[1] for p in pairs])
+        assert total_delay(a, e) >= last_delay(a, e) - 1e-12
+
+
+class TestCollectiveTiming:
+    def test_properties(self):
+        timing = CollectiveTiming(np.array([0.0, 1.0]), np.array([2.0, 3.0]))
+        assert timing.num_ranks == 2
+        assert timing.total_delay == 3.0
+        assert timing.last_delay == 2.0
+        assert timing.arrival_spread == 1.0
+        assert np.array_equal(timing.delays_from_first(), [0.0, 1.0])
+
+
+def _mk_result(algo="a", pattern="no_delay", delays=(1.0, 2.0)):
+    timings = [
+        CollectiveTiming(np.zeros(2), np.full(2, d)) for d in delays
+    ]
+    return BenchResult(
+        collective="alltoall", algorithm=algo, msg_bytes=8.0, num_ranks=2,
+        pattern_name=pattern, max_skew=0.0, timings=timings,
+    )
+
+
+class TestBenchResult:
+    def test_statistics(self):
+        r = _mk_result(delays=(1.0, 2.0, 6.0))
+        assert r.nrep == 3
+        assert r.last_delay == pytest.approx(3.0)
+        assert r.median_last_delay == pytest.approx(2.0)
+
+    def test_requires_repetitions(self):
+        with pytest.raises(ConfigurationError):
+            BenchResult("alltoall", "a", 8.0, 2, "no_delay", 0.0, timings=[])
+
+    def test_to_dict_roundtrippable_fields(self):
+        d = _mk_result().to_dict()
+        assert d["algorithm"] == "a"
+        assert len(d["last_delays"]) == 2
+
+
+class TestSweepResult:
+    def test_rows_and_best(self):
+        sweep = SweepResult("alltoall", 8.0, 2)
+        sweep.add(_mk_result("fast", "no_delay", delays=(1.0,)))
+        sweep.add(_mk_result("slow", "no_delay", delays=(5.0,)))
+        sweep.add(_mk_result("fast", "ascending", delays=(4.0,)))
+        sweep.add(_mk_result("slow", "ascending", delays=(2.0,)))
+        assert sweep.best_algorithm("no_delay") == "fast"
+        assert sweep.best_algorithm("ascending") == "slow"
+        assert sweep.patterns == ["no_delay", "ascending"]
+        assert set(sweep.algorithms) == {"fast", "slow"}
+
+    def test_missing_cell_raises(self):
+        sweep = SweepResult("alltoall", 8.0, 2)
+        with pytest.raises(ConfigurationError):
+            sweep.get("no_delay", "ghost")
+
+    def test_json_and_csv_export(self, tmp_path):
+        sweep = SweepResult("alltoall", 8.0, 2)
+        sweep.add(_mk_result("a", "no_delay"))
+        sweep.save_json(tmp_path / "s.json")
+        sweep.save_csv(tmp_path / "s.csv")
+        assert (tmp_path / "s.json").stat().st_size > 0
+        text = (tmp_path / "s.csv").read_text()
+        assert "mean_last_delay" in text and "no_delay" in text

@@ -1,0 +1,97 @@
+"""Integration tests for the micro-benchmark harness (Listing 1 analogue)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.bench import MicroBenchmark
+from repro.patterns import generate_pattern
+from repro.sim.network import NetworkParams
+from repro.sim.platform import Platform, get_machine
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return MicroBenchmark.from_machine(
+        get_machine("hydra"), nodes=4, cores_per_node=4, nrep=2
+    )
+
+
+class TestMicroBenchmark:
+    def test_no_delay_arrival_spread_is_tiny(self, bench):
+        result = bench.run("reduce", "binomial", msg_bytes=8)
+        for timing in result.timings:
+            assert timing.arrival_spread < 1e-9
+
+    def test_metrics_agree_without_pattern(self, bench):
+        result = bench.run("allreduce", "ring", msg_bytes=1024)
+        assert result.total_delay == pytest.approx(result.last_delay, rel=1e-6)
+
+    def test_pattern_reproduced_in_arrivals(self, bench):
+        """The measured arrival pattern equals the requested one."""
+        pattern = generate_pattern("ascending", bench.num_ranks, 5e-4, seed=1)
+        result = bench.run("alltoall", "bruck", msg_bytes=64, pattern=pattern)
+        for timing in result.timings:
+            measured = timing.delays_from_first()
+            assert np.allclose(measured, pattern.skews, atol=1e-9)
+
+    def test_total_delay_includes_skew_last_delay_does_not(self, bench):
+        skew = 2e-3
+        pattern = generate_pattern("last_delayed", bench.num_ranks, skew)
+        result = bench.run("alltoall", "bruck", msg_bytes=64, pattern=pattern)
+        assert result.total_delay >= skew
+        assert result.last_delay < skew / 2
+
+    def test_deterministic_across_invocations(self, bench):
+        a = bench.run("reduce", "binomial", msg_bytes=512)
+        b = bench.run("reduce", "binomial", msg_bytes=512)
+        assert np.array_equal(a.last_delays, b.last_delays)
+
+    def test_wrong_pattern_size_rejected(self, bench):
+        with pytest.raises(ConfigurationError):
+            bench.run("reduce", "binomial", 8, pattern=generate_pattern("bell", 3, 1e-3))
+
+    def test_run_many_covers_all_algorithms(self, bench):
+        out = bench.run_many("alltoall", ["bruck", "pairwise"], msg_bytes=64)
+        assert set(out) == {"bruck", "pairwise"}
+
+    def test_larger_messages_take_longer(self, bench):
+        small = bench.run("alltoall", "pairwise", msg_bytes=64)
+        large = bench.run("alltoall", "pairwise", msg_bytes=1 << 20)
+        assert large.last_delay > small.last_delay * 10
+
+    def test_validation(self):
+        plat = Platform("t", nodes=1, cores_per_node=2)
+        with pytest.raises(ConfigurationError):
+            MicroBenchmark(platform=plat, nrep=0)
+        with pytest.raises(ConfigurationError):
+            MicroBenchmark(platform=plat, clock_mode="quantum")
+        with pytest.raises(ConfigurationError):
+            MicroBenchmark(platform=plat, noise_profile="hurricane")
+
+
+class TestSyncedClockMode:
+    def test_synced_mode_measures_close_to_perfect_mode(self):
+        """Measurement with drifting+synced clocks stays within ~1 us of truth."""
+        spec = get_machine("hydra")
+        perfect = MicroBenchmark.from_machine(
+            spec, nodes=2, cores_per_node=4, nrep=1, clock_mode="perfect"
+        )
+        synced = MicroBenchmark.from_machine(
+            spec, nodes=2, cores_per_node=4, nrep=1, clock_mode="synced"
+        )
+        pattern = generate_pattern("bell", 8, 2e-4, seed=3)
+        rp = perfect.run("alltoall", "pairwise", msg_bytes=4096, pattern=pattern)
+        rs = synced.run("alltoall", "pairwise", msg_bytes=4096, pattern=pattern)
+        assert rs.last_delay == pytest.approx(rp.last_delay, abs=2e-6)
+
+    def test_synced_mode_deterministic(self):
+        spec = get_machine("hydra")
+        mk = lambda: MicroBenchmark.from_machine(  # noqa: E731
+            spec, nodes=2, cores_per_node=4, nrep=1, clock_mode="synced", seed=9
+        )
+        a = mk().run("reduce", "binomial", msg_bytes=256)
+        b = mk().run("reduce", "binomial", msg_bytes=256)
+        assert np.array_equal(a.last_delays, b.last_delays)

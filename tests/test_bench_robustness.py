@@ -1,0 +1,123 @@
+"""Tests for robustness analysis and the sweep runners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.bench import (
+    MicroBenchmark,
+    average_normalized,
+    classify,
+    good_algorithms,
+    normalize_rows,
+    normalized_performance,
+    sweep_per_algorithm_skew,
+    sweep_shared_skew,
+)
+from repro.patterns import ArrivalPattern, NO_DELAY
+from repro.sim.platform import get_machine
+
+
+class TestRobustnessMath:
+    def test_normalized_performance_sign_convention(self):
+        # Paper Fig. 6: negative = absorbed skew (faster), positive = slower.
+        assert normalized_performance(0.5, 1.0) == pytest.approx(-0.5)
+        assert normalized_performance(2.0, 1.0) == pytest.approx(1.0)
+        assert normalized_performance(1.0, 1.0) == 0.0
+
+    def test_classification_thresholds(self):
+        assert classify(-0.564) == "faster"  # the paper's Fig. 6a example
+        assert classify(-0.25) == "neutral"
+        assert classify(0.25) == "neutral"
+        assert classify(0.3) == "slower"
+
+    def test_good_algorithms_five_percent_rule(self):
+        row = {"a": 1.00, "b": 1.04, "c": 1.06, "d": 9.0}
+        assert good_algorithms(row) == {"a", "b"}
+
+    def test_good_algorithms_all_equal(self):
+        assert good_algorithms({"a": 2.0, "b": 2.0}) == {"a", "b"}
+
+    def test_normalize_rows(self):
+        table = {"p1": {"a": 2.0, "b": 4.0}, "p2": {"a": 3.0, "b": 1.5}}
+        normalized = normalize_rows(table)
+        assert normalized["p1"] == {"a": 1.0, "b": 2.0}
+        assert normalized["p2"]["b"] == 1.0
+        assert normalized["p2"]["a"] == pytest.approx(2.0)
+
+    def test_average_normalized_with_exclusion(self):
+        table = {
+            "no_delay": {"a": 1.0, "b": 2.0},
+            "asc": {"a": 4.0, "b": 2.0},
+            "ft": {"a": 100.0, "b": 1.0},
+        }
+        avg = average_normalized(table, exclude=("ft",))
+        assert avg["a"] == pytest.approx((1.0 + 2.0) / 2)
+        assert avg["b"] == pytest.approx((2.0 + 1.0) / 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            normalized_performance(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            good_algorithms({})
+        with pytest.raises(ConfigurationError):
+            normalize_rows({"p": {}})
+        with pytest.raises(ConfigurationError):
+            average_normalized({"p": {"a": 1.0}}, exclude=("p",))
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return MicroBenchmark.from_machine(
+        get_machine("hydra"), nodes=4, cores_per_node=4, nrep=1
+    )
+
+
+ALGOS = ["basic_linear", "pairwise", "bruck", "linear_sync"]
+
+
+class TestSweeps:
+    def test_shared_skew_sweep_structure(self, bench):
+        sweep = sweep_shared_skew(
+            bench, "alltoall", ALGOS, 256, ["ascending", "last_delayed"]
+        )
+        assert sweep.patterns == [NO_DELAY, "ascending", "last_delayed"]
+        assert set(sweep.algorithms) == set(ALGOS)
+        # All non-reference patterns share one skew magnitude.
+        skews = {sweep.skew_by_pattern[p] for p in ("ascending", "last_delayed")}
+        assert len(skews) == 1
+        no_delay_mean = np.mean(list(sweep.row(NO_DELAY).values()))
+        assert skews.pop() == pytest.approx(1.5 * no_delay_mean, rel=1e-9)
+
+    def test_shared_skew_override(self, bench):
+        sweep = sweep_shared_skew(
+            bench, "alltoall", ["bruck"], 64, ["bell"], max_skew=3.3e-4
+        )
+        assert sweep.skew_by_pattern["bell"] == pytest.approx(3.3e-4)
+
+    def test_extra_patterns_included(self, bench):
+        traced = ArrivalPattern("ft_scenario", np.linspace(0, 1e-4, bench.num_ranks))
+        sweep = sweep_shared_skew(
+            bench, "alltoall", ["bruck"], 64, [], extra_patterns=[traced]
+        )
+        assert "ft_scenario" in sweep.patterns
+        assert sweep.skew_by_pattern["ft_scenario"] == pytest.approx(1e-4)
+
+    def test_per_algorithm_skew_scales_with_runtime(self, bench):
+        sweep = sweep_per_algorithm_skew(
+            bench, "alltoall", ["bruck", "pairwise"], 1024, ["last_delayed"]
+        )
+        # Pairwise is slower than Bruck at this size, so its pattern run saw
+        # a proportionally larger max skew.
+        bruck = sweep.get("last_delayed", "bruck")
+        pairwise = sweep.get("last_delayed", "pairwise")
+        assert pairwise.max_skew > bruck.max_skew
+        assert bruck.max_skew == pytest.approx(
+            sweep.get(NO_DELAY, "bruck").last_delay, rel=1e-6
+        )
+
+    def test_empty_algorithm_list_rejected(self, bench):
+        with pytest.raises(ConfigurationError):
+            sweep_shared_skew(bench, "alltoall", [], 64, ["bell"])

@@ -1,0 +1,118 @@
+"""Tests for the robust measurement statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.bench.stats import drop_warmup, median_ci, summarize, winsorize
+
+
+class TestDropWarmup:
+    def test_drops_prefix(self):
+        out = drop_warmup(np.array([9.0, 1.0, 1.1, 1.2]), warmup=1)
+        assert out.tolist() == [1.0, 1.1, 1.2]
+
+    def test_zero_warmup_identity(self):
+        values = np.array([1.0, 2.0])
+        assert drop_warmup(values, 0).tolist() == values.tolist()
+
+    def test_all_dropped_rejected(self):
+        with pytest.raises(ConfigurationError):
+            drop_warmup(np.array([1.0, 2.0]), warmup=2)
+        with pytest.raises(ConfigurationError):
+            drop_warmup(np.array([1.0]), warmup=-1)
+
+
+class TestWinsorize:
+    def test_clamps_outliers(self):
+        values = np.array([1.0] * 18 + [100.0, -50.0])
+        out = winsorize(values, fraction=0.1)
+        assert out.max() <= 1.0
+        assert out.min() >= -50.0 + 1  # clamped up to the 10% quantile
+        assert np.median(out) == 1.0
+
+    def test_zero_fraction_identity(self):
+        values = np.array([1.0, 5.0, 9.0])
+        assert winsorize(values, 0.0).tolist() == values.tolist()
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            winsorize(np.array([1.0]), fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            winsorize(np.array([]), fraction=0.1)
+
+
+class TestMedianCI:
+    def test_tiny_samples_degenerate_to_range(self):
+        lo, hi = median_ci(np.array([3.0, 1.0]))
+        assert (lo, hi) == (1.0, 3.0)
+
+    def test_interval_contains_median_for_large_samples(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(10.0, 1.0, size=200)
+        lo, hi = median_ci(values)
+        med = np.median(values)
+        assert lo <= med <= hi
+        assert hi - lo < 1.0  # tight at n=200
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            median_ci(np.array([]))
+        with pytest.raises(ConfigurationError):
+            median_ci(np.array([1.0, 2.0, 3.0]), confidence=1.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                    min_size=3, max_size=60))
+    def test_interval_is_ordered_and_within_range(self, values):
+        lo, hi = median_ci(np.array(values))
+        assert min(values) <= lo <= hi <= max(values)
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0 and s.maximum == 5.0
+        assert s.ci_low <= s.median <= s.ci_high
+
+    def test_pipeline_warmup_then_winsorize(self):
+        values = [50.0] + [1.0] * 20 + [30.0]  # warmup spike + one outlier
+        s = summarize(values, warmup=1, winsor_fraction=0.1)
+        assert s.median == 1.0
+        assert s.maximum < 30.0
+
+    def test_relative_spread(self):
+        s = summarize([1.0, 1.0, 2.0])
+        assert s.relative_spread == pytest.approx(1.0)
+
+    def test_single_value(self):
+        s = summarize([4.2])
+        assert s.std == 0.0
+        assert s.ci_low == s.ci_high == 4.2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+        with pytest.raises(ConfigurationError):
+            summarize(np.zeros((2, 2)))
+
+
+class TestBenchResultIntegration:
+    def test_summary_from_bench_result(self):
+        from repro.bench import MicroBenchmark
+        from repro.sim.platform import get_machine
+
+        bench = MicroBenchmark.from_machine(
+            get_machine("hydra"), nodes=2, cores_per_node=4, nrep=5,
+            noise_profile="moderate", clock_mode="synced",
+        )
+        result = bench.run("reduce", "binomial", msg_bytes=1024)
+        s = result.summary(warmup=1)
+        assert s.n == 4
+        assert s.ci_low <= s.median <= s.ci_high

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                    "fig8", "fig9", "table1", "table2", "registry", "all"):
+            args = parser.parse_args([cmd] if cmd.startswith("table") or cmd == "registry"
+                                     else [cmd, "--fast"] if cmd != "all" else [cmd, "--fast"])
+            assert args.command == cmd
+
+    def test_collective_choice_validated(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig4", "--collective", "bogus"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_table_commands(self, capsys):
+        assert main(["table1"]) == 0
+        assert "hydra" in capsys.readouterr().out
+        assert main(["table2"]) == 0
+        assert "bruck" in capsys.readouterr().out
+
+    def test_fig3_fast(self, capsys):
+        assert main(["fig3", "--nodes", "2", "--cores", "4", "--fast"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+    def test_fig4_with_json_export(self, capsys, tmp_path):
+        out = tmp_path / "fig4.json"
+        code = main([
+            "fig4", "--collective", "reduce", "--machine", "simcluster",
+            "--nodes", "2", "--cores", "4", "--fast", "--json", str(out),
+        ])
+        assert code == 0
+        assert "Fig. 4" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["collective"] == "reduce"
+
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2", "--fast"]) == 0
+        assert "last delay" in capsys.readouterr().out
+
+    def test_selfcheck_quick(self, capsys):
+        assert main(["selfcheck", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "self-check" in out and "OK" in out
+
+    def test_trace_writes_artifacts(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main([
+            "trace", "--app", "ft", "--nodes", "2", "--cores", "4",
+            "--iterations", "3",
+            "--trace-out", str(tmp_path / "x.trace"),
+            "--pattern-out", str(tmp_path / "x.pattern"),
+        ])
+        assert code == 0
+        assert (tmp_path / "x.trace").exists()
+        assert (tmp_path / "x.pattern").exists()
+        out = capsys.readouterr().out
+        assert "traced" in out and "max skew" in out
+
+    def test_tune_writes_rules(self, capsys, tmp_path):
+        code = main([
+            "tune", "--nodes", "2", "--cores", "4",
+            "--collectives", "alltoall",
+            "--sizes", "64",
+            "--out", str(tmp_path / "tuned"),
+        ])
+        assert code == 0
+        assert (tmp_path / "tuned" / "ompi_dynamic_rules.conf").exists()
+        assert (tmp_path / "tuned" / "selection_table.json").exists()
+        assert "selected algorithm" in capsys.readouterr().out
+
+    def test_ext_subcommands_fast(self, capsys):
+        assert main(["ext-nonblocking", "--nodes", "2", "--cores", "4",
+                     "--fast"]) == 0
+        assert "overlap benefit" in capsys.readouterr().out

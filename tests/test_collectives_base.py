@@ -1,0 +1,263 @@
+"""Unit tests for collective infrastructure: CollArgs, trees, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro.collectives  # noqa: F401 - populate registry
+from repro.errors import ConfigurationError, UnknownAlgorithmError
+from repro.collectives.base import (
+    CollArgs,
+    binary_tree,
+    binomial_tree,
+    chain_tree,
+    get_algorithm,
+    get_algorithm_by_id,
+    in_order_binary_tree,
+    in_order_tree_root,
+    list_algorithms,
+    list_collectives,
+    vrank,
+)
+
+
+class TestCollArgs:
+    def test_bytes_for_scales_proportionally(self):
+        args = CollArgs(count=100, msg_bytes=1000.0)
+        assert args.bytes_for(100) == 1000.0
+        assert args.bytes_for(50) == 500.0
+        assert args.bytes_for(1) == 10.0
+
+    def test_segments_cover_count_exactly(self):
+        args = CollArgs(count=24, msg_bytes=1 << 20, segment_bytes=1 << 17)
+        segs = args.segments()
+        assert len(segs) == 8
+        assert sum(n for _, n in segs) == 24
+        assert segs[0][0] == 0
+        for (o1, n1), (o2, _) in zip(segs, segs[1:]):
+            assert o1 + n1 == o2
+
+    def test_small_message_single_segment(self):
+        args = CollArgs(count=8, msg_bytes=64.0)
+        assert args.segments() == [(0, 8)]
+
+    def test_segment_count_capped_by_items(self):
+        args = CollArgs(count=3, msg_bytes=1 << 24, segment_bytes=1024.0)
+        assert len(args.segments()) == 3
+
+    @pytest.mark.parametrize("kwargs", [dict(count=0), dict(count=-1), dict(msg_bytes=-2.0)])
+    def test_validation(self, kwargs):
+        base = dict(count=4, msg_bytes=8.0)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            CollArgs(**base)
+
+
+def _validate_tree(tree_fn, size, root=0, **kw):
+    """Generic tree invariants: single root, consistent parent/child, connected."""
+    parents = {}
+    children_of = {}
+    for rank in range(size):
+        parent, children = tree_fn(rank, size, root, **kw)
+        parents[rank] = parent
+        children_of[rank] = children
+    roots = [r for r, p in parents.items() if p is None]
+    assert len(roots) == 1
+    for rank in range(size):
+        for child in children_of[rank]:
+            assert parents[child] == rank
+        if parents[rank] is not None:
+            assert rank in children_of[parents[rank]]
+    # Connectivity: walking up from any rank reaches the root.
+    for rank in range(size):
+        seen = set()
+        node = rank
+        while parents[node] is not None:
+            assert node not in seen, "cycle detected"
+            seen.add(node)
+            node = parents[node]
+        assert node == roots[0]
+    return roots[0]
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8, 15, 16, 33])
+@pytest.mark.parametrize("root", [0, 1])
+def test_binomial_tree_invariants(size, root):
+    if root >= size:
+        pytest.skip("root out of range")
+    top = _validate_tree(binomial_tree, size, root)
+    assert top == root
+
+
+@pytest.mark.parametrize("size", [1, 2, 5, 8, 16, 31])
+def test_binary_tree_invariants(size):
+    top = _validate_tree(binary_tree, size, 0)
+    assert top == 0
+
+
+@pytest.mark.parametrize("size", [1, 2, 5, 9, 16])
+@pytest.mark.parametrize("fanout", [1, 2, 4])
+def test_chain_tree_invariants(size, fanout):
+    top = _validate_tree(lambda r, s, rt: chain_tree(r, s, rt, fanout=fanout), size, 0)
+    assert top == 0
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 16, 17, 64, 100])
+@pytest.mark.parametrize("radix", [2, 3, 4])
+def test_knomial_tree_invariants(size, radix):
+    from repro.collectives.base import knomial_tree
+
+    top = _validate_tree(
+        lambda r, s, rt: knomial_tree(r, s, rt, radix=radix), size, 0
+    )
+    assert top == 0
+
+
+@pytest.mark.parametrize("size", [1, 2, 7, 16, 33])
+def test_knomial_radix2_equals_binomial(size):
+    from repro.collectives.base import knomial_tree
+
+    for rank in range(size):
+        assert knomial_tree(rank, size, 0, radix=2) == binomial_tree(rank, size, 0)
+
+
+def test_knomial_shallower_than_binomial():
+    """Radix 4 halves the tree depth at 256 ranks (4 levels vs 8)."""
+    from repro.collectives.base import knomial_tree
+
+    def depth(tree_fn, size):
+        parents = {r: tree_fn(r, size, 0)[0] for r in range(size)}
+        worst = 0
+        for rank in range(size):
+            d, node = 0, rank
+            while parents[node] is not None:
+                node = parents[node]
+                d += 1
+            worst = max(worst, d)
+        return worst
+
+    size = 256
+    d4 = depth(lambda r, s, rt: knomial_tree(r, s, rt, radix=4), size)
+    d2 = depth(binomial_tree, size)
+    assert d4 == 4 and d2 == 8
+
+
+def test_knomial_invalid_radix():
+    from repro.errors import ConfigurationError
+    from repro.collectives.base import knomial_tree
+
+    with pytest.raises(ConfigurationError):
+        knomial_tree(0, 8, 0, radix=1)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 8, 15, 16, 33])
+def test_in_order_tree_invariants(size):
+    top = _validate_tree(lambda r, s, rt: in_order_binary_tree(r, s), size, 0)
+    assert top == in_order_tree_root(size)
+
+
+@pytest.mark.parametrize("size", [2, 5, 8, 13])
+def test_in_order_tree_traversal_is_sorted(size):
+    """The defining property: in-order traversal visits ranks ascending."""
+    children = {r: in_order_binary_tree(r, size)[1] for r in range(size)}
+
+    def traverse(node):
+        ch = children[node]
+        left = [c for c in ch if c < node]
+        right = [c for c in ch if c > node]
+        out = []
+        for c in left:
+            out += traverse(c)
+        out.append(node)
+        for c in right:
+            out += traverse(c)
+        return out
+
+    assert traverse(in_order_tree_root(size)) == list(range(size))
+
+
+@given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=63))
+def test_binomial_depth_logarithmic(size, root):
+    """Binomial tree depth equals the max popcount over virtual ranks.
+
+    (The depth of virtual rank v in a binomial tree is popcount(v); the
+    tree is therefore at most ceil(log2 p) deep.)
+    """
+    root %= size
+    depth = {root: 0}
+    pending = list(range(size))
+    guard = 0
+    while pending and guard < 1000:
+        guard += 1
+        for rank in list(pending):
+            parent, _ = binomial_tree(rank, size, root)
+            if parent is None:
+                depth[rank] = 0
+                pending.remove(rank)
+            elif parent in depth:
+                depth[rank] = depth[parent] + 1
+                pending.remove(rank)
+    expected = max(bin(v).count("1") for v in range(size))
+    assert max(depth.values()) == expected
+    assert max(depth.values()) <= (int(np.ceil(np.log2(size))) if size > 1 else 0)
+
+
+class TestRegistry:
+    def test_expected_families_registered(self):
+        assert set(list_collectives()) >= {
+            "allgather",
+            "allreduce",
+            "alltoall",
+            "barrier",
+            "bcast",
+            "gather",
+            "reduce",
+            "reduce_scatter",
+        }
+
+    def test_paper_table2_ids(self):
+        """Table II: the Open MPI 4.1.x algorithm IDs the paper benchmarks."""
+        assert get_algorithm_by_id("allreduce", 2).name == "nonoverlapping"
+        assert get_algorithm_by_id("allreduce", 3).name == "recursive_doubling"
+        assert get_algorithm_by_id("allreduce", 4).name == "ring"
+        assert get_algorithm_by_id("allreduce", 5).name == "segmented_ring"
+        assert get_algorithm_by_id("allreduce", 6).name == "rabenseifner"
+        assert get_algorithm_by_id("alltoall", 1).name == "basic_linear"
+        assert get_algorithm_by_id("alltoall", 2).name == "pairwise"
+        assert get_algorithm_by_id("alltoall", 3).name == "bruck"
+        assert get_algorithm_by_id("alltoall", 4).name == "linear_sync"
+        assert get_algorithm_by_id("reduce", 1).name == "linear"
+        assert get_algorithm_by_id("reduce", 2).name == "chain"
+        assert get_algorithm_by_id("reduce", 3).name == "pipeline"
+        assert get_algorithm_by_id("reduce", 4).name == "binary"
+        assert get_algorithm_by_id("reduce", 5).name == "binomial"
+        assert get_algorithm_by_id("reduce", 6).name == "in_order_binary"
+        assert get_algorithm_by_id("reduce", 7).name == "rabenseifner"
+
+    def test_simgrid_aliases_resolve(self):
+        """Fig. 4's SimGrid algorithm names map onto our implementations."""
+        assert get_algorithm("allreduce", "lr").name == "ring"
+        assert get_algorithm("allreduce", "rdb").name == "recursive_doubling"
+        assert get_algorithm("allreduce", "rab_rdb").name == "rabenseifner"
+        assert get_algorithm("allreduce", "redbcast").name == "nonoverlapping"
+        assert get_algorithm("allreduce", "ompi_ring_segmented").name == "segmented_ring"
+        assert get_algorithm("alltoall", "bruck").name == "bruck"
+        assert get_algorithm("reduce", "ompi_binomial").name == "binomial"
+        assert get_algorithm("reduce", "ompi_in_order_binary").name == "in_order_binary"
+        assert get_algorithm("reduce", "scatter_gather").name == "rabenseifner"
+
+    def test_unknown_algorithm_raises_with_candidates(self):
+        with pytest.raises(UnknownAlgorithmError) as exc:
+            get_algorithm("reduce", "quantum")
+        assert "binomial" in str(exc.value)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(UnknownAlgorithmError):
+            list_algorithms("alltoallw")
+
+    def test_labels_include_id(self):
+        info = get_algorithm("alltoall", "bruck")
+        assert info.label == "alltoall/bruck (ID 3)"

@@ -1,0 +1,144 @@
+"""Tests for the vector (irregular) collectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.collectives  # noqa: F401
+from repro.errors import ConfigurationError
+from repro.collectives import VectorArgs
+from repro.collectives.base import get_algorithm, list_algorithms
+from repro.sim.mpi import run_processes
+from repro.sim.platform import Platform
+
+
+def _platform(p: int) -> Platform:
+    return Platform("t", nodes=max(1, (p + 3) // 4), cores_per_node=4)
+
+
+def _run(collective: str, algorithm: str, args: VectorArgs, inputs, p: int):
+    info = get_algorithm(collective, algorithm)
+
+    def prog(ctx):
+        result = yield from info.fn(ctx, args, inputs[ctx.rank])
+        return result
+
+    return run_processes(_platform(p), prog, num_ranks=p).rank_results
+
+
+def _alltoallv_inputs(counts: np.ndarray):
+    """Block (i -> j) holds values i*1000 + j*10 + k."""
+    p = counts.shape[0]
+    return [
+        [np.arange(counts[i][j]) + i * 1000 + j * 10 for j in range(p)]
+        for i in range(p)
+    ]
+
+
+class TestAlltoallv:
+    @pytest.mark.parametrize("algorithm", list_algorithms("alltoallv"))
+    @pytest.mark.parametrize("p", [1, 2, 3, 6, 9])
+    def test_matches_semantics(self, algorithm, p):
+        rng = np.random.default_rng(p)
+        counts = rng.integers(0, 6, size=(p, p))
+        args = VectorArgs(counts=tuple(map(tuple, counts)), item_bytes=16.0)
+        inputs = _alltoallv_inputs(counts)
+        results = _run("alltoallv", algorithm, args, inputs, p)
+        for me in range(p):
+            for src in range(p):
+                expected = inputs[src][me]
+                assert np.array_equal(results[me][src], expected), (
+                    f"{algorithm} p={p} me={me} src={src}"
+                )
+
+    @pytest.mark.parametrize("algorithm", list_algorithms("alltoallv"))
+    def test_all_zero_counts(self, algorithm):
+        p = 4
+        counts = np.zeros((p, p), dtype=int)
+        args = VectorArgs(counts=tuple(map(tuple, counts)))
+        inputs = _alltoallv_inputs(counts)
+        results = _run("alltoallv", algorithm, args, inputs, p)
+        for me in range(p):
+            assert all(block.size == 0 for block in results[me])
+
+    def test_wrong_count_matrix_rejected(self):
+        args = VectorArgs(counts=((1, 2),))  # not (p, p)
+        inputs = _alltoallv_inputs(np.ones((4, 4), dtype=int))
+        with pytest.raises(ConfigurationError):
+            _run("alltoallv", "basic_linear", args, inputs, 4)
+
+
+class TestAllgatherv:
+    @pytest.mark.parametrize("algorithm", list_algorithms("allgatherv"))
+    @pytest.mark.parametrize("p", [1, 2, 5, 8])
+    def test_matches_semantics(self, algorithm, p):
+        rng = np.random.default_rng(p + 100)
+        counts = rng.integers(0, 7, size=p)
+        args = VectorArgs(counts=tuple(counts), item_bytes=8.0)
+        inputs = [np.arange(counts[r]) + r * 100 for r in range(p)]
+        results = _run("allgatherv", algorithm, args, inputs, p)
+        for me in range(p):
+            for src in range(p):
+                assert np.array_equal(results[me][src], inputs[src])
+
+    @pytest.mark.parametrize("algorithm", list_algorithms("allgatherv"))
+    def test_empty_contributions_allowed(self, algorithm):
+        p = 4
+        counts = np.array([0, 3, 0, 2])
+        args = VectorArgs(counts=tuple(counts))
+        inputs = [np.arange(counts[r]) + r for r in range(p)]
+        results = _run("allgatherv", algorithm, args, inputs, p)
+        for me in range(p):
+            assert results[me][0].size == 0
+            assert np.array_equal(results[me][1], inputs[1])
+
+
+class TestGathervScatterv:
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_gatherv_roundtrips_with_scatterv(self, root):
+        p = 5
+        counts = np.array([2, 0, 4, 1, 3])
+        args = VectorArgs(counts=tuple(counts), root=root)
+        inputs = [np.arange(counts[r]) + 10 * r for r in range(p)]
+        gathered = _run("gatherv", "linear", args, inputs, p)
+        for rank in range(p):
+            if rank == root:
+                for src in range(p):
+                    assert np.array_equal(gathered[rank][src], inputs[src])
+            else:
+                assert gathered[rank] is None
+        # Scatter the gathered list back out.
+        scatter_inputs = [
+            gathered[root] if r == root else None for r in range(p)
+        ]
+        scattered = _run("scatterv", "linear", args, scatter_inputs, p)
+        for rank in range(p):
+            assert np.array_equal(scattered[rank], inputs[rank])
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VectorArgs(counts=(1, -2, 3)).vector(3)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    p=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+    algorithm=st.sampled_from(list_algorithms("alltoallv")),
+)
+def test_alltoallv_property(p, seed, algorithm):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 5, size=(p, p))
+    args = VectorArgs(counts=tuple(map(tuple, counts)))
+    inputs = _alltoallv_inputs(counts)
+    results = _run("alltoallv", algorithm, args, inputs, p)
+    total_in = sum(counts.sum(axis=0))
+    total_out = sum(sum(b.size for b in results[me]) for me in range(p))
+    assert total_in == total_out  # conservation of items
+    for me in range(p):
+        for src in range(p):
+            assert np.array_equal(results[me][src], inputs[src][me])

@@ -1,0 +1,30 @@
+"""Tests for the all-families sensitivity extension experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_all_families
+from repro.experiments.common import ExperimentConfig
+
+TINY = ExperimentConfig(machine="simcluster", nodes=4, cores_per_node=4, fast=True)
+
+
+class TestAllFamilies:
+    def test_fast_mode_covers_four_families(self):
+        result = ext_all_families.run(TINY)
+        assert set(result.families) == {"bcast", "allgather", "reduce", "alltoall"}
+        for fam in result.families.values():
+            assert fam.cells > 0
+            assert 0 <= fam.flips <= fam.cells
+            assert 0 < fam.best_win <= 1.0 + 1e-9
+
+    def test_reduce_is_the_most_sensitive_family(self):
+        result = ext_all_families.run(TINY)
+        reduce_frac = result.families["reduce"].flip_fraction
+        assert reduce_frac >= max(
+            f.flip_fraction for name, f in result.families.items() if name != "reduce"
+        ) - 1e-9
+
+    def test_report_renders(self):
+        result = ext_all_families.run(TINY)
+        text = ext_all_families.report(result)
+        assert "rooted" in text and "flip fraction" in text

@@ -1,0 +1,23 @@
+"""Tests for the clock-accuracy extension experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_clock_accuracy
+from repro.experiments.common import ExperimentConfig
+
+
+class TestClockAccuracy:
+    def test_benchmark_horizon_meets_paper_bound(self):
+        result = ext_clock_accuracy.run(ExperimentConfig(fast=True))
+        assert result.worst_benchmark_error() < 1e-6
+
+    def test_errors_grow_with_horizon(self):
+        result = ext_clock_accuracy.run(ExperimentConfig(fast=True))
+        for (p, drift), (e0, e1, e2) in result.cells.items():
+            assert e0 <= e1 <= e2 * 1.001, (p, drift)
+
+    def test_report_has_verdict(self):
+        result = ext_clock_accuracy.run(ExperimentConfig(fast=True))
+        text = ext_clock_accuracy.report(result)
+        assert "PASS" in text or "WARN" in text
+        assert "ranks" in text

@@ -1,0 +1,30 @@
+"""Tests for the non-blocking-collectives extension experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_nonblocking
+from repro.experiments.common import ExperimentConfig
+
+
+class TestNonblockingExperiment:
+    def test_grid_complete_and_positive(self):
+        config = ExperimentConfig(nodes=4, cores_per_node=4, fast=True)
+        result = ext_nonblocking.run(config)
+        assert len(result.cells) == len(ext_nonblocking.WORKLOADS) * len(
+            ext_nonblocking.NOISE_LEVELS
+        )
+        for (workload, noise), (blocking, nonblocking) in result.cells.items():
+            assert blocking > 0 and nonblocking > 0
+
+    def test_overlap_helps_bandwidth_bound_workload(self):
+        config = ExperimentConfig(nodes=4, cores_per_node=4, fast=True)
+        result = ext_nonblocking.run(config)
+        # Large alltoall with real compute: hiding must give a clear benefit.
+        assert result.benefit("large_alltoall", "none") > 0.05
+
+    def test_report_renders(self):
+        config = ExperimentConfig(nodes=4, cores_per_node=4, fast=True)
+        result = ext_nonblocking.run(config)
+        text = ext_nonblocking.report(result)
+        assert "overlap benefit" in text
+        assert "non-blocking" in text

@@ -1,0 +1,28 @@
+"""Tests for the selection-regime comparison extension experiment."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_selection_comparison
+from repro.experiments.common import ExperimentConfig
+
+
+class TestSelectionComparison:
+    def test_all_four_regimes_present(self):
+        config = ExperimentConfig(nodes=4, cores_per_node=4, fast=True)
+        result = ext_selection_comparison.run(config)
+        assert set(result.regimes) == {
+            "library default (fixed rules)",
+            "no-delay tuned",
+            "robust tuned (paper)",
+            "online adaptive (extension)",
+        }
+        for regime, (algo, runtime) in result.regimes.items():
+            assert runtime > 0, regime
+            assert algo, regime
+
+    def test_report_marks_best(self):
+        config = ExperimentConfig(nodes=4, cores_per_node=4, fast=True)
+        result = ext_selection_comparison.run(config)
+        text = ext_selection_comparison.report(result)
+        assert "<-- best" in text
+        assert "adaptive" in text

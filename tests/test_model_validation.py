@@ -1,0 +1,159 @@
+"""Validation of simulated collective times against closed-form cost models.
+
+For uncontended, single-segment, eager configurations the classic LogP-style
+cost formulas predict our simulator exactly (it implements those
+mechanics), so these tests pin the cost model down analytically:
+
+* point-to-point: ``T = o_s + m/B + L`` (+ extraction),
+* binomial broadcast of a tiny message: ``depth x per-hop cost``,
+* ring allreduce of a large message: ``2 (p-1) (m/p) / B`` bandwidth term,
+* linear gather: root-side serialization ``(p-1) m / B``.
+
+Any refactor that changes these silently would invalidate the experiment
+conclusions; here the numbers are locked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives import CollArgs, make_input, run_collective
+from repro.sim.mpi import run_processes
+from repro.sim.network import NetworkParams
+from repro.sim.platform import Platform
+
+# One rank per node: no shared-NIC coupling, pure per-link costs.
+L = 2e-6
+BW = 1e9
+O = 0.1e-6
+
+PARAMS = NetworkParams(
+    intra_latency=L, inter_latency=L,
+    intra_bandwidth=BW, inter_bandwidth=BW,
+    send_overhead=O, recv_overhead=O,
+    eager_threshold=1 << 30,  # everything eager
+    rx_serialization=False,
+    shared_node_nic=False,
+)
+
+
+def _one_per_node(p: int) -> Platform:
+    return Platform("analytic", nodes=p, cores_per_node=1)
+
+
+def _run_collective(collective, algorithm, p, count, msg_bytes, segment_bytes=None):
+    platform = _one_per_node(p)
+    args = CollArgs(count=count, msg_bytes=float(msg_bytes),
+                    segment_bytes=segment_bytes)
+    inputs = [make_input(collective, r, p, count) for r in range(p)]
+
+    def prog(ctx):
+        start = ctx.time()
+        yield from run_collective(ctx, collective, algorithm, args, inputs[ctx.rank])
+        return start, ctx.time()
+
+    run = run_processes(platform, prog, params=PARAMS)
+    exits = [r[1] for r in run.rank_results]
+    return max(exits)
+
+
+class TestPointToPointFormula:
+    @pytest.mark.parametrize("m", [1, 1000, 100_000])
+    def test_eager_message_cost(self, m):
+        platform = _one_per_node(2)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, m)
+            else:
+                yield from ctx.recv(0)
+            return ctx.time()
+
+        run = run_processes(platform, prog, params=PARAMS)
+        # recv posted at t=o_r; arrival = o_s + m/B + L; completes at max.
+        expected = O + m / BW + L
+        assert run.rank_results[1] == pytest.approx(expected, rel=1e-12)
+
+
+class TestBroadcastFormula:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32])
+    def test_binomial_tiny_message_depth(self, p):
+        """Completion = ceil(log2 p) sequential hops for the deepest leaf.
+
+        Per hop: the parent's send overhead + wire latency (tiny payload).
+        Parents send to the far child first; each level adds one (o + L)
+        on the critical path (plus the child's recv-post overhead
+        absorbed before arrival).
+        """
+        t = _run_collective("bcast", "binomial", p, count=1, msg_bytes=1)
+        depth = int(np.ceil(np.log2(p)))
+        per_hop = O + 1 / BW + L
+        # The deepest chain pays one hop per level; senders' earlier sends
+        # add at most (depth-1) extra overheads at the root.
+        lower = depth * per_hop
+        upper = depth * per_hop + depth * O + 1e-12
+        assert lower - 1e-12 <= t <= upper, (t, lower, upper)
+
+    def test_linear_bcast_root_serialization(self):
+        """Root's NIC drains (p-1) x m back-to-back: last arrival fixed."""
+        p, m = 9, 50_000
+        t = _run_collective("bcast", "linear", p, count=8, msg_bytes=m)
+        expected = O + (p - 1) * m / BW + L
+        assert t == pytest.approx(expected, rel=1e-6)
+
+
+class TestAllreduceFormula:
+    @pytest.mark.parametrize("p", [4, 8])
+    def test_ring_bandwidth_term(self, p):
+        """Ring allreduce moves 2(p-1) blocks of m/p bytes per rank."""
+        m = 1 << 20
+        count = 4 * p
+        t = _run_collective("allreduce", "ring", p, count=count, msg_bytes=m)
+        bandwidth_term = 2 * (p - 1) * (m / p) / BW
+        # Latency/overhead add 2(p-1) small per-step terms.
+        steps = 2 * (p - 1)
+        overhead_term = steps * (L + 2 * O)
+        assert t == pytest.approx(bandwidth_term + overhead_term, rel=0.02)
+
+    @pytest.mark.parametrize("p", [4, 8, 16])
+    def test_recursive_doubling_round_count(self, p):
+        """log2(p) full-size exchange rounds for power-of-two p."""
+        m = 8
+        t = _run_collective("allreduce", "recursive_doubling", p, count=4,
+                            msg_bytes=m)
+        rounds = int(np.log2(p))
+        per_round = 2 * O + m / BW + L  # sendrecv: overheads + wire
+        assert t == pytest.approx(rounds * per_round, rel=0.25)
+
+
+class TestGatherFormula:
+    def test_linear_gather_wire_serialization(self):
+        """All (p-1) messages arrive back-to-back at the root's link rate.
+
+        With private ports and no rx serialization the senders transmit in
+        parallel; the root completes at the slowest single message, not the
+        sum — pinning the *absence* of artificial serialization.
+        """
+        p, m = 8, 100_000
+        t = _run_collective("gather", "linear", p, count=8, msg_bytes=m)
+        single = 2 * O + m / BW + L
+        assert t == pytest.approx(single, rel=0.05)
+
+    def test_rx_serialization_restores_the_sum(self):
+        """Turning the extraction port on makes the root the bottleneck."""
+        p, m = 8, 100_000
+        platform = _one_per_node(p)
+        import dataclasses
+
+        params = dataclasses.replace(PARAMS, rx_serialization=True)
+        args = CollArgs(count=8, msg_bytes=float(m))
+        inputs = [make_input("gather", r, p, 8) for r in range(p)]
+
+        def prog(ctx):
+            yield from run_collective(ctx, "gather", "linear", args, inputs[ctx.rank])
+            return ctx.time()
+
+        run = run_processes(platform, prog, params=params)
+        t = max(run.rank_results)
+        assert t >= (p - 1) * m / BW  # the extraction port drained everything

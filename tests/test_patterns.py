@@ -1,0 +1,155 @@
+"""Unit + property tests for arrival-pattern generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.patterns import (
+    ArrivalPattern,
+    NO_DELAY,
+    PATTERN_SHAPES,
+    generate_pattern,
+    list_shapes,
+    no_delay_pattern,
+    read_pattern_file,
+    skew_from_mean_runtime,
+    per_algorithm_skews,
+    write_pattern_file,
+)
+
+
+class TestShapes:
+    def test_paper_has_eight_artificial_shapes(self):
+        assert len(PATTERN_SHAPES) == 8
+        assert set(PATTERN_SHAPES) == {
+            "ascending", "descending", "first_delayed", "last_delayed",
+            "random", "bell", "step", "zigzag",
+        }
+
+    def test_list_shapes_with_reference(self):
+        names = list_shapes(include_no_delay=True)
+        assert names[0] == NO_DELAY
+        assert len(names) == 9
+
+    @pytest.mark.parametrize("shape", list(PATTERN_SHAPES))
+    @pytest.mark.parametrize("p", [1, 2, 3, 8, 33, 64])
+    def test_skews_bounded_and_peak_exact(self, shape, p):
+        s = 1.25e-3
+        pattern = generate_pattern(shape, p, s, seed=3)
+        assert pattern.num_ranks == p
+        assert (pattern.skews >= 0).all()
+        assert pattern.skews.max() == pytest.approx(s)
+
+    def test_semantics_of_directional_shapes(self):
+        p, s = 16, 1.0
+        asc = generate_pattern("ascending", p, s).skews
+        desc = generate_pattern("descending", p, s).skews
+        assert asc[0] == 0 and asc[-1] == s
+        assert np.all(np.diff(asc) > 0)
+        assert np.array_equal(desc, asc[::-1])
+        first = generate_pattern("first_delayed", p, s).skews
+        assert first[0] == s and np.all(first[1:] == 0)
+        last = generate_pattern("last_delayed", p, s).skews
+        assert last[-1] == s and np.all(last[:-1] == 0)
+        stp = generate_pattern("step", p, s).skews
+        assert np.all(stp[: p // 2] == 0) and np.all(stp[p // 2 :] == s)
+        zig = generate_pattern("zigzag", p, s).skews
+        assert np.all(zig[0::2] == 0) and np.all(zig[1::2] == s)
+        bellp = generate_pattern("bell", p, s).skews
+        assert bellp.argmax() in (p // 2 - 1, p // 2)
+
+    def test_random_is_seed_deterministic(self):
+        a = generate_pattern("random", 32, 1e-3, seed=5).skews
+        b = generate_pattern("random", 32, 1e-3, seed=5).skews
+        c = generate_pattern("random", 32, 1e-3, seed=6).skews
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_no_delay_is_all_zero(self):
+        assert np.all(no_delay_pattern(10).skews == 0)
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_pattern("spiral", 8, 1.0)
+
+    @pytest.mark.parametrize("kwargs", [dict(num_ranks=0), dict(max_skew=-1.0)])
+    def test_bad_parameters_rejected(self, kwargs):
+        base = dict(shape="random", num_ranks=8, max_skew=1.0)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            generate_pattern(base["shape"], base["num_ranks"], base["max_skew"])
+
+
+class TestArrivalPattern:
+    def test_scaled_to(self):
+        pattern = generate_pattern("ascending", 8, 2.0)
+        scaled = pattern.scaled_to(0.5)
+        assert scaled.max_skew == pytest.approx(0.5)
+        assert np.allclose(scaled.skews * 4, pattern.skews)
+
+    def test_scaled_zero_pattern(self):
+        assert no_delay_pattern(4).scaled_to(1.0).max_skew == 0.0
+
+    def test_negative_skews_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalPattern("bad", np.array([-1.0, 0.0]))
+
+    @given(st.integers(min_value=1, max_value=100),
+           st.floats(min_value=0, max_value=10, allow_nan=False))
+    def test_skew_of_matches_array(self, p, s):
+        pattern = generate_pattern("random", p, s, seed=1)
+        for rank in range(0, p, max(1, p // 7)):
+            assert pattern.skew_of(rank) == pattern.skews[rank]
+
+
+class TestPatternFiles:
+    def test_roundtrip(self, tmp_path):
+        pattern = generate_pattern("bell", 12, 3.5e-3, seed=2)
+        path = tmp_path / "bell.pattern"
+        write_pattern_file(path, pattern)
+        back = read_pattern_file(path)
+        assert back.name == "bell"
+        assert np.allclose(back.skews, pattern.skews)
+
+    def test_file_has_one_line_per_rank(self, tmp_path):
+        pattern = generate_pattern("step", 9, 1.0)
+        path = tmp_path / "step.pattern"
+        write_pattern_file(path, pattern)
+        data_lines = [
+            l for l in path.read_text().splitlines() if l and not l.startswith("#")
+        ]
+        assert len(data_lines) == 9
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.pattern"
+        path.write_text("0.1\nnot-a-number\n")
+        with pytest.raises(TraceFormatError):
+            read_pattern_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.pattern"
+        path.write_text("# nothing\n")
+        with pytest.raises(TraceFormatError):
+            read_pattern_file(path)
+
+
+class TestSkewPolicies:
+    def test_mean_runtime_policy(self):
+        assert skew_from_mean_runtime([1.0, 2.0, 3.0], factor=1.5) == pytest.approx(3.0)
+        assert skew_from_mean_runtime({"a": 2.0, "b": 4.0}, factor=0.5) == pytest.approx(1.5)
+
+    def test_per_algorithm_policy(self):
+        skews = per_algorithm_skews({"lin": 1e-3, "bruck": 4e-3})
+        assert skews == {"lin": 1e-3, "bruck": 4e-3}
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            skew_from_mean_runtime([])
+        with pytest.raises(ConfigurationError):
+            skew_from_mean_runtime([1.0], factor=-1)
+        with pytest.raises(ConfigurationError):
+            per_algorithm_skews({"x": -1.0})

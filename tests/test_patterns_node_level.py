@@ -1,0 +1,73 @@
+"""Tests for node-correlated arrival patterns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.patterns import generate_node_pattern
+from repro.sim.platform import Platform
+
+
+@pytest.fixture
+def plat():
+    return Platform("t", nodes=4, cores_per_node=4)
+
+
+class TestNodePatterns:
+    def test_ranks_of_a_node_share_the_skew(self, plat):
+        pattern = generate_node_pattern("ascending", plat, 1e-3)
+        for node in range(plat.nodes):
+            ranks = list(plat.ranks_of_node(node))
+            values = pattern.skews[ranks]
+            assert np.all(values == values[0]), f"node {node} not uniform"
+
+    def test_shape_applies_across_nodes(self, plat):
+        pattern = generate_node_pattern("ascending", plat, 1e-3)
+        node_values = [pattern.skews[plat.ranks_of_node(n)[0]] for n in range(4)]
+        assert node_values == sorted(node_values)
+        assert node_values[0] == 0.0
+        assert node_values[-1] == pytest.approx(1e-3)
+
+    def test_last_delayed_hits_one_whole_node(self, plat):
+        pattern = generate_node_pattern("last_delayed", plat, 2e-4)
+        delayed = pattern.skews > 0
+        assert delayed.sum() == plat.cores_per_node
+        assert all(plat.node_of_rank(r) == plat.nodes - 1
+                   for r in np.where(delayed)[0])
+
+    def test_peak_normalized_with_jitter(self, plat):
+        pattern = generate_node_pattern("descending", plat, 5e-4,
+                                        intra_jitter=1e-4, seed=3)
+        assert pattern.max_skew == pytest.approx(5e-4)
+        # Jitter breaks intra-node uniformity.
+        ranks = list(plat.ranks_of_node(0))
+        assert len(set(pattern.skews[ranks].tolist())) > 1
+
+    def test_name_prefix(self, plat):
+        assert generate_node_pattern("bell", plat, 1.0).name == "node_bell"
+
+    def test_deterministic(self, plat):
+        a = generate_node_pattern("random", plat, 1e-3, seed=9).skews
+        b = generate_node_pattern("random", plat, 1e-3, seed=9).skews
+        assert np.array_equal(a, b)
+
+    def test_validation(self, plat):
+        with pytest.raises(ConfigurationError):
+            generate_node_pattern("bell", plat, -1.0)
+        with pytest.raises(ConfigurationError):
+            generate_node_pattern("bell", plat, 1.0, intra_jitter=-1.0)
+        with pytest.raises(ConfigurationError):
+            generate_node_pattern("wiggle", plat, 1.0)
+
+    def test_usable_in_micro_benchmark(self, plat):
+        from repro.bench import MicroBenchmark
+        from repro.sim.platform import get_machine
+
+        bench = MicroBenchmark.from_machine(get_machine("hydra"),
+                                            nodes=4, cores_per_node=4, nrep=1)
+        pattern = generate_node_pattern("step", bench.platform, 2e-4)
+        result = bench.run("alltoall", "pairwise", 4096, pattern=pattern)
+        assert result.max_skew == pytest.approx(2e-4)
+        assert result.last_delay > 0

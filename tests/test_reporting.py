@@ -1,0 +1,95 @@
+"""Tests for the ASCII renderers and exporters."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import (
+    grid_to_csv,
+    render_bars,
+    render_grid,
+    render_series,
+    render_table,
+    results_to_json,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["name", "value"], [["a", "1"], ["long-name", "22"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert all(len(l) <= len(max(lines, key=len)) for l in lines)
+
+    def test_title(self):
+        assert render_table(["x"], [["1"]], title="T").splitlines()[0] == "T"
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+
+class TestRenderGrid:
+    def test_missing_cells_dashed(self):
+        grid = {"r1": {"c1": "x"}, "r2": {"c2": "y"}}
+        text = render_grid(grid, corner="rows")
+        assert "-" in text
+        assert "c1" in text and "c2" in text
+
+    def test_explicit_order_respected(self):
+        grid = {"b": {"z": "1", "a": "2"}, "a": {"z": "3", "a": "4"}}
+        text = render_grid(grid, row_order=["a", "b"], col_order=["z", "a"])
+        lines = text.splitlines()
+        assert lines[2].startswith("a")
+        assert lines[3].startswith("b")
+
+
+class TestRenderBars:
+    def test_bar_lengths_scale(self):
+        text = render_bars({"small": 1.0, "big": 4.0}, width=20)
+        lines = {l.split()[0]: l for l in text.splitlines()}
+        assert lines["big"].count("#") == 20
+        assert 4 <= lines["small"].count("#") <= 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_bars({})
+
+
+class TestRenderSeries:
+    def test_height_and_axis(self):
+        text = render_series([0, 1, 2, 3, 2, 1], height=4)
+        lines = text.splitlines()
+        assert len(lines) == 5  # 4 levels + axis
+        assert lines[-1].strip().startswith("+")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series([])
+
+
+class TestExport:
+    def test_results_to_json_handles_numpy(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "r.json"
+        results_to_json(path, {"arr": np.arange(3), "x": np.float64(1.5)})
+        data = json.loads(path.read_text())
+        assert data["arr"] == [0, 1, 2]
+        assert data["x"] == 1.5
+
+    def test_grid_to_csv(self, tmp_path):
+        path = tmp_path / "g.csv"
+        grid_to_csv(path, {"r1": {"a": 1, "b": 2}, "r2": {"a": 3}}, row_label="pattern")
+        rows = list(csv.reader(open(path)))
+        assert rows[0] == ["pattern", "a", "b"]
+        assert rows[2] == ["r2", "3", ""]

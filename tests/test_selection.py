@@ -1,0 +1,136 @@
+"""Tests for selection strategies, tables, and the Open MPI rules exporter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.bench.metrics import CollectiveTiming
+from repro.bench.results import BenchResult, SweepResult
+from repro.selection import (
+    MinMaxSelector,
+    NoDelaySelector,
+    OracleSelector,
+    RobustAverageSelector,
+    SelectionTable,
+    write_ompi_rules_file,
+)
+
+
+def _sweep(table: dict[str, dict[str, float]], collective="alltoall",
+           msg_bytes=32768.0, num_ranks=16) -> SweepResult:
+    sweep = SweepResult(collective, msg_bytes, num_ranks)
+    for pattern, row in table.items():
+        for algo, delay in row.items():
+            timing = CollectiveTiming(np.zeros(2), np.full(2, delay))
+            sweep.add(BenchResult(collective, algo, msg_bytes, num_ranks,
+                                  pattern, 0.0, [timing]))
+    return sweep
+
+
+#: A Fig. 8a-like scenario: 'fast_fragile' wins No-delay but collapses under
+#: skew; 'robust' is slightly slower synchronized but steady everywhere.
+FIG8_LIKE = {
+    "no_delay": {"fast_fragile": 1.0, "robust": 1.3, "slowpoke": 4.6},
+    "descending": {"fast_fragile": 16.0, "robust": 1.4, "slowpoke": 4.8},
+    "random": {"fast_fragile": 8.0, "robust": 1.5, "slowpoke": 4.7},
+    "ft_scenario": {"fast_fragile": 6.0, "robust": 1.4, "slowpoke": 4.9},
+}
+
+
+class TestStrategies:
+    def test_no_delay_selector_picks_the_trap(self):
+        assert NoDelaySelector().select(_sweep(FIG8_LIKE)) == "fast_fragile"
+
+    def test_robust_average_picks_the_steady_algorithm(self):
+        assert RobustAverageSelector().select(_sweep(FIG8_LIKE)) == "robust"
+
+    def test_robust_average_exclusion_still_picks_robust(self):
+        """The paper's 'Avg (excl. FT-Sce.)': no application knowledge needed."""
+        strategy = RobustAverageSelector(exclude=("ft_scenario",))
+        assert strategy.select(_sweep(FIG8_LIKE)) == "robust"
+
+    def test_minmax_selector(self):
+        assert MinMaxSelector().select(_sweep(FIG8_LIKE)) == "robust"
+
+    def test_oracle_matches_trace_row(self):
+        assert OracleSelector("ft_scenario").select(_sweep(FIG8_LIKE)) == "robust"
+        flipped = dict(FIG8_LIKE)
+        flipped["ft_scenario"] = {"fast_fragile": 0.9, "robust": 1.4, "slowpoke": 4.9}
+        assert OracleSelector("ft_scenario").select(_sweep(flipped)) == "fast_fragile"
+
+    def test_oracle_missing_pattern_raises(self):
+        with pytest.raises(ConfigurationError):
+            OracleSelector("nonexistent").select(_sweep(FIG8_LIKE))
+
+    def test_no_delay_requires_baseline(self):
+        table = {"random": {"a": 1.0}}
+        with pytest.raises(ConfigurationError):
+            NoDelaySelector().select(_sweep(table))
+
+
+class TestSelectionTable:
+    def test_build_and_lookup_with_bucketing(self):
+        table = SelectionTable()
+        table.add_sweep(_sweep(FIG8_LIKE, msg_bytes=1024.0), RobustAverageSelector())
+        table.add_sweep(_sweep(FIG8_LIKE, msg_bytes=65536.0), NoDelaySelector())
+        assert table.lookup("alltoall", 16, 1024) == "robust"
+        assert table.lookup("alltoall", 16, 32000) == "robust"  # below 64 KiB bucket
+        assert table.lookup("alltoall", 16, 65536) == "fast_fragile"
+        assert table.lookup("alltoall", 16, 1 << 22) == "fast_fragile"
+        assert table.lookup("alltoall", 16, 2) == "robust"  # clamps to smallest
+
+    def test_lookup_without_rules_raises(self):
+        with pytest.raises(ConfigurationError):
+            SelectionTable().lookup("bcast", 4, 8)
+
+    def test_comm_size_bucketing(self):
+        """An untuned rank count resolves to the nearest tuned bucket below."""
+        table = SelectionTable()
+        table.add_rule("alltoall", 32, 0.0, "bruck")
+        table.add_rule("alltoall", 128, 0.0, "pairwise")
+        assert table.lookup("alltoall", 48, 8) == "bruck"  # 32 <= 48 < 128
+        assert table.lookup("alltoall", 128, 8) == "pairwise"
+        assert table.lookup("alltoall", 4096, 8) == "pairwise"
+        assert table.lookup("alltoall", 8, 8) == "bruck"  # clamps to smallest
+        with pytest.raises(ConfigurationError):
+            table.lookup("alltoall", 48, 8, exact_comm_size=True)
+
+    def test_replacing_rule_overwrites(self):
+        table = SelectionTable()
+        table.add_rule("alltoall", 8, 64.0, "a")
+        table.add_rule("alltoall", 8, 64.0, "b")
+        assert table.lookup("alltoall", 8, 64) == "b"
+        assert len(table.rules_for("alltoall", 8)) == 1
+
+    def test_json_roundtrip(self, tmp_path):
+        table = SelectionTable(strategy_name="robust_average")
+        table.add_rule("alltoall", 16, 32768.0, "pairwise")
+        table.add_rule("reduce", 16, 8.0, "binomial")
+        path = tmp_path / "table.json"
+        table.save_json(path)
+        back = SelectionTable.load_json(path)
+        assert back.strategy_name == "robust_average"
+        assert back.lookup("alltoall", 16, 32768) == "pairwise"
+        assert back.lookup("reduce", 16, 8) == "binomial"
+
+
+class TestOmpiRulesExport:
+    def test_export_format(self, tmp_path):
+        table = SelectionTable()
+        table.add_rule("alltoall", 1024, 0.0, "bruck")
+        table.add_rule("alltoall", 1024, 32768.0, "pairwise")
+        table.add_rule("reduce", 1024, 0.0, "binomial")
+        path = tmp_path / "rules.conf"
+        write_ompi_rules_file(path, table)
+        lines = [l.split("#")[0].strip() for l in path.read_text().splitlines()]
+        assert lines[0] == "2"  # two collectives
+        assert "3" in lines  # alltoall's coll_tuned id
+        # bruck is alltoall algorithm 3, pairwise algorithm 2 (Table II).
+        joined = path.read_text()
+        assert "0 3 0 0" in joined and "32768 2 0 0" in joined
+
+    def test_empty_table_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_ompi_rules_file(tmp_path / "x", SelectionTable())

@@ -1,0 +1,139 @@
+"""Tests for online pattern classification and adaptive selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.bench.metrics import CollectiveTiming
+from repro.bench.results import BenchResult, SweepResult
+from repro.patterns import generate_pattern, list_shapes
+from repro.selection.online import (
+    AdaptiveSelector,
+    PatternClassifier,
+    run_adaptive_app,
+)
+from repro.sim.network import NetworkParams
+from repro.sim.platform import Platform, get_machine
+
+
+class TestPatternClassifier:
+    @pytest.mark.parametrize("shape", ["ascending", "descending", "first_delayed",
+                                       "last_delayed", "bell", "step", "zigzag"])
+    def test_recovers_generating_shape(self, shape):
+        clf = PatternClassifier(num_ranks=32)
+        pattern = generate_pattern(shape, 32, 3e-4, seed=1)
+        detected, magnitude = clf.classify(pattern.skews)
+        assert detected == shape
+        # Magnitude = observed spread (bell's tail never quite reaches zero).
+        expected = pattern.skews.max() - pattern.skews.min()
+        assert magnitude == pytest.approx(expected, rel=1e-9)
+
+    def test_flat_delays_classified_no_delay(self):
+        clf = PatternClassifier(num_ranks=16)
+        detected, _ = clf.classify(np.zeros(16))
+        assert detected == "no_delay"
+        detected, _ = clf.classify(np.full(16, 0.5))  # uniform offset, no spread
+        assert detected == "no_delay"
+
+    def test_noisy_shape_still_recovered(self):
+        clf = PatternClassifier(num_ranks=64)
+        pattern = generate_pattern("ascending", 64, 1e-3, seed=2)
+        rng = np.random.default_rng(0)
+        noisy = pattern.skews + rng.normal(0, 5e-5, 64)
+        noisy -= noisy.min()
+        detected, _ = clf.classify(noisy)
+        assert detected == "ascending"
+
+    def test_wrong_length_rejected(self):
+        clf = PatternClassifier(num_ranks=8)
+        with pytest.raises(ConfigurationError):
+            clf.classify(np.zeros(9))
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PatternClassifier(num_ranks=0)
+
+
+def _sweep_with_per_pattern_winners(num_ranks=8):
+    """Synthetic sweep: 'fastpath' wins no_delay, 'sturdy' wins under skew."""
+    sweep = SweepResult("alltoall", 1024.0, num_ranks)
+    table = {
+        "no_delay": {"fastpath": 1.0, "sturdy": 2.0},
+        "first_delayed": {"fastpath": 9.0, "sturdy": 2.1},
+        "ascending": {"fastpath": 5.0, "sturdy": 2.0},
+    }
+    for pattern, row in table.items():
+        for algo, t in row.items():
+            timing = CollectiveTiming(np.zeros(2), np.full(2, t))
+            sweep.add(BenchResult("alltoall", algo, 1024.0, num_ranks,
+                                  pattern, 0.0, [timing]))
+    return sweep
+
+
+class TestAdaptiveSelector:
+    def test_pick_follows_classified_pattern(self):
+        selector = AdaptiveSelector.from_sweep(_sweep_with_per_pattern_winners(), 8)
+        assert selector.pick(None) == "fastpath"  # default = no_delay winner
+        first = generate_pattern("first_delayed", 8, 1e-3).skews
+        assert selector.pick(first) == "sturdy"
+        assert selector.pick(np.zeros(8)) == "fastpath"
+
+    def test_unknown_pattern_falls_back_to_default(self):
+        selector = AdaptiveSelector.from_sweep(_sweep_with_per_pattern_winners(), 8)
+        bell = generate_pattern("bell", 8, 1e-3).skews
+        assert selector.pick(bell) == "fastpath"
+
+
+class TestRunAdaptiveApp:
+    def _platform(self):
+        return Platform("t", nodes=4, cores_per_node=4)
+
+    def _selector(self, sweep_ranks=16):
+        from repro.bench import MicroBenchmark, sweep_shared_skew
+
+        bench = MicroBenchmark.from_machine(
+            get_machine("hydra"), nodes=4, cores_per_node=4, nrep=1
+        )
+        sweep = sweep_shared_skew(
+            bench, "alltoall", ["basic_linear", "pairwise", "linear_sync"],
+            32768, ["first_delayed", "last_delayed", "ascending"],
+        )
+        return AdaptiveSelector.from_sweep(sweep, 16)
+
+    def test_adaptive_run_produces_picks_per_iteration(self):
+        selector = self._selector()
+        result = run_adaptive_app(
+            self._platform(), selector, iterations=6,
+            params=NetworkParams(**get_machine("hydra").network),
+        )
+        assert len(result.picks) == 6
+        assert result.runtime > 0
+
+    def test_adaptation_reacts_to_scripted_imbalance(self):
+        """A strong first_delayed imbalance should steer picks mid-run."""
+        selector = self._selector()
+
+        def delay(it, rank):
+            return 2e-3 if (it >= 3 and rank == 0) else 0.0
+
+        result = run_adaptive_app(
+            self._platform(), selector, iterations=8, extra_delay=delay,
+            params=NetworkParams(**get_machine("hydra").network),
+        )
+        early = set(result.picks[:3])
+        late = set(result.picks[5:])
+        # The pick conditioned on the injected pattern matches the sweep's
+        # first_delayed winner.
+        assert selector.table["first_delayed"] in late or early == late
+
+    def test_fixed_algorithm_baseline(self):
+        selector = self._selector()
+        result = run_adaptive_app(
+            self._platform(), selector, iterations=4,
+            fixed_algorithm="pairwise",
+            params=NetworkParams(**get_machine("hydra").network),
+        )
+        assert result.picks == ["pairwise"] * 4
+        assert result.switches == 0

@@ -1,0 +1,311 @@
+"""Unit tests for the discrete-event engine core."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, ProtocolError
+from repro.sim.engine import ANY_SOURCE, ANY_TAG
+from repro.sim.mpi import run_processes
+from repro.sim.network import NetworkParams
+from repro.sim.platform import Platform
+
+
+def run(platform, fn, params=None, **kw):
+    return run_processes(platform, fn, params=params, **kw)
+
+
+class TestBasicExecution:
+    def test_empty_program_finishes_at_zero(self, small_platform):
+        def prog(ctx):
+            return ctx.time()
+            yield  # pragma: no cover - makes prog a generator
+
+        res = run(small_platform, prog)
+        assert res.final_time == 0.0
+        assert res.rank_results == [0.0] * small_platform.num_ranks
+
+    def test_sleep_advances_only_that_rank(self, small_platform):
+        def prog(ctx):
+            if ctx.rank == 3:
+                yield ctx.sleep(0.25)
+            return ctx.time()
+
+        res = run(small_platform, prog)
+        assert res.rank_results[3] == pytest.approx(0.25)
+        assert all(t == 0.0 for i, t in enumerate(res.rank_results) if i != 3)
+
+    def test_wait_until_past_time_is_noop(self, small_platform):
+        def prog(ctx):
+            yield ctx.sleep(1.0)
+            yield ctx.wait_until(0.5)
+            return ctx.time()
+
+        res = run(small_platform, prog)
+        assert res.rank_results[0] == pytest.approx(1.0)
+
+    def test_wait_until_future_time(self, small_platform):
+        def prog(ctx):
+            yield ctx.wait_until(2.0)
+            return ctx.time()
+
+        res = run(small_platform, prog)
+        assert all(t == pytest.approx(2.0) for t in res.rank_results)
+
+    def test_negative_sleep_rejected(self, small_platform):
+        def prog(ctx):
+            yield ctx.sleep(-1.0)
+
+        with pytest.raises(ProtocolError):
+            run(small_platform, prog)
+
+    def test_invalid_yield_rejected(self, small_platform):
+        def prog(ctx):
+            yield "nonsense"
+
+        with pytest.raises(ProtocolError):
+            run(small_platform, prog)
+
+    def test_rank_results_returned_in_order(self, small_platform):
+        def prog(ctx):
+            yield ctx.sleep(0.001 * ctx.rank)
+            return ctx.rank * 10
+
+        res = run(small_platform, prog)
+        assert res.rank_results == [r * 10 for r in range(small_platform.num_ranks)]
+
+
+class TestPointToPoint:
+    def test_payload_transfer(self, small_platform):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes=64, payload=np.arange(8))
+            elif ctx.rank == 1:
+                req = yield from ctx.recv(0)
+                assert np.array_equal(req.payload, np.arange(8))
+                return float(req.payload.sum())
+            return None
+
+        res = run(small_platform, prog)
+        assert res.rank_results[1] == 28.0
+
+    def test_payload_is_snapshotted_at_isend(self, small_platform):
+        """Mutating the send buffer after isend must not corrupt the message."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                buf = np.ones(4)
+                req = ctx.isend(1, nbytes=32, payload=buf)
+                buf[:] = -1.0
+                yield ctx.waitall(req)
+            elif ctx.rank == 1:
+                req = yield from ctx.recv(0)
+                assert np.array_equal(req.payload, np.ones(4))
+            return None
+
+        run(small_platform, prog)
+
+    def test_eager_timing_closed_form(self, small_platform, flat_params):
+        """One eager message: arrival = tx_time + latency (no overheads)."""
+        nbytes = 1000
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes=nbytes)
+            elif ctx.rank == 1:
+                yield from ctx.recv(0)
+            return ctx.time()
+
+        res = run(small_platform, prog, params=flat_params)
+        expected = nbytes / 1e9 + 1e-6
+        assert res.rank_results[1] == pytest.approx(expected)
+        # Sender completes at end of injection, before arrival.
+        assert res.rank_results[0] == pytest.approx(nbytes / 1e9)
+
+    def test_back_to_back_sends_serialize_on_injection_port(
+        self, small_platform, flat_params
+    ):
+        nbytes = 2000
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                r1 = ctx.isend(1, nbytes=nbytes)
+                r2 = ctx.isend(2, nbytes=nbytes)
+                yield ctx.waitall(r1, r2)
+            elif ctx.rank in (1, 2):
+                yield from ctx.recv(0)
+            return ctx.time()
+
+        res = run(small_platform, prog, params=flat_params)
+        tx = nbytes / 1e9
+        # Second message cannot start until the first has drained.
+        assert res.rank_results[2] == pytest.approx(2 * tx + 1e-6)
+
+    def test_late_receiver_does_not_stall_eager_sender(self, small_platform, flat_params):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes=10)
+                return ctx.time()
+            if ctx.rank == 1:
+                yield ctx.sleep(1.0)
+                yield from ctx.recv(0)
+                return ctx.time()
+            return None
+
+        res = run(small_platform, prog, params=flat_params)
+        assert res.rank_results[0] < 1e-3  # sender finished immediately
+        assert res.rank_results[1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_late_receiver_stalls_rendezvous_sender(self, small_platform, flat_params):
+        nbytes = 100_000  # above the 4096-byte eager threshold
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes=nbytes)
+                return ctx.time()
+            if ctx.rank == 1:
+                yield ctx.sleep(0.5)
+                yield from ctx.recv(0)
+                return ctx.time()
+            return None
+
+        res = run(small_platform, prog, params=flat_params)
+        assert res.rank_results[0] >= 0.5  # sender waited for the handshake
+        # Receiver: handshake at 0.5 + CTS latency + tx + latency.
+        expected = 0.5 + 1e-6 + nbytes / 1e9 + 1e-6
+        assert res.rank_results[1] == pytest.approx(expected, rel=1e-6)
+
+    def test_unexpected_message_queue(self, small_platform):
+        """Message arriving before the recv is posted waits in the queue."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes=8, payload=np.array([42.0]))
+            elif ctx.rank == 1:
+                yield ctx.sleep(0.1)
+                req = yield from ctx.recv(0)
+                assert req.payload[0] == 42.0
+                return ctx.time()
+            return None
+
+        res = run(small_platform, prog)
+        assert res.rank_results[1] == pytest.approx(0.1, rel=1e-3)
+
+    def test_message_order_preserved_per_pair(self, small_platform):
+        def prog(ctx):
+            if ctx.rank == 0:
+                for i in range(5):
+                    yield from ctx.send(1, nbytes=8, payload=np.array([float(i)]))
+            elif ctx.rank == 1:
+                values = []
+                for _ in range(5):
+                    req = yield from ctx.recv(0)
+                    values.append(req.payload[0])
+                assert values == [0.0, 1.0, 2.0, 3.0, 4.0]
+            return None
+
+        run(small_platform, prog)
+
+    def test_tags_disambiguate_messages(self, small_platform):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ra = ctx.isend(1, nbytes=8, tag=7, payload=np.array([7.0]))
+                rb = ctx.isend(1, nbytes=8, tag=9, payload=np.array([9.0]))
+                yield ctx.waitall(ra, rb)
+            elif ctx.rank == 1:
+                # Receive in the opposite tag order.
+                r9 = yield from ctx.recv(0, tag=9)
+                r7 = yield from ctx.recv(0, tag=7)
+                assert r9.payload[0] == 9.0
+                assert r7.payload[0] == 7.0
+            return None
+
+        run(small_platform, prog)
+
+    def test_any_source_matches_earliest_arrival(self, small_platform):
+        def prog(ctx):
+            if ctx.rank == 2:
+                yield ctx.sleep(0.2)
+                yield from ctx.send(0, nbytes=8, payload=np.array([2.0]))
+            elif ctx.rank == 1:
+                yield ctx.sleep(0.1)
+                yield from ctx.send(0, nbytes=8, payload=np.array([1.0]))
+            elif ctx.rank == 0:
+                yield ctx.sleep(0.3)
+                first = yield from ctx.recv(ANY_SOURCE, tag=ANY_TAG)
+                second = yield from ctx.recv(ANY_SOURCE, tag=ANY_TAG)
+                assert first.source_rank == 1
+                assert second.source_rank == 2
+            return None
+
+        run(small_platform, prog)
+
+    def test_self_message(self, small_platform):
+        def prog(ctx):
+            if ctx.rank == 0:
+                sreq = ctx.isend(0, nbytes=8, payload=np.array([5.0]))
+                rreq = ctx.irecv(0)
+                yield ctx.waitall(sreq, rreq)
+                assert rreq.payload[0] == 5.0
+            return None
+            yield  # pragma: no cover
+
+        def prog_all(ctx):
+            if ctx.rank == 0:
+                yield from prog(ctx)
+            return None
+
+        run(small_platform, prog_all)
+
+
+class TestErrorHandling:
+    def test_deadlock_detection(self, small_platform):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.recv(1)  # never sent
+            return None
+
+        with pytest.raises(DeadlockError) as exc:
+            run(small_platform, prog)
+        assert exc.value.blocked_ranks == [0]
+
+    def test_send_to_invalid_rank(self, small_platform):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(999, nbytes=8)
+            return None
+
+        with pytest.raises(ProtocolError):
+            run(small_platform, prog)
+
+    def test_negative_size_rejected(self, small_platform):
+        def prog(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, nbytes=-5)
+            return None
+
+        with pytest.raises(ProtocolError):
+            run(small_platform, prog)
+
+    def test_waitall_empty_rejected(self, small_platform):
+        def prog(ctx):
+            yield ctx.waitall()
+
+        with pytest.raises(ProtocolError):
+            run(small_platform, prog)
+
+
+class TestDeterminism:
+    def test_identical_runs_are_bit_identical(self, small_platform):
+        def prog(ctx):
+            partner = ctx.rank ^ 1
+            for _ in range(10):
+                yield from ctx.sendrecv(partner, partner, nbytes=500)
+            return ctx.time()
+
+        res1 = run(small_platform, prog)
+        res2 = run(small_platform, prog)
+        assert res1.rank_results == res2.rank_results
+        assert res1.final_time == res2.final_time
+        assert res1.events_processed == res2.events_processed

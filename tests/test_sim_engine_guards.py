@@ -1,0 +1,89 @@
+"""Tests for the engine's safety guards and introspection surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError, SimulationError
+from repro.sim.engine import Engine
+from repro.sim.mpi import build_engine, run_processes
+from repro.sim.network import NetworkModel, NetworkParams
+from repro.sim.platform import Platform
+
+
+class TestGuards:
+    def test_max_events_limit(self, small_platform):
+        network = NetworkModel(small_platform, NetworkParams())
+        engine = Engine(small_platform.num_ranks, network, max_events=10)
+
+        def prog():
+            for _ in range(100):
+                yield ("sleep", 1e-6)
+
+        for rank in range(small_platform.num_ranks):
+            engine.set_process(rank, prog())
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run()
+
+    def test_zero_procs_rejected(self, small_platform):
+        network = NetworkModel(small_platform, NetworkParams())
+        with pytest.raises(ProtocolError):
+            Engine(0, network)
+
+    def test_missing_generator_rejected(self, small_platform):
+        engine, _ = build_engine(small_platform)
+        with pytest.raises(ProtocolError, match="no generator"):
+            engine.run()
+
+    def test_double_set_process_rejected(self, small_platform):
+        engine, _ = build_engine(small_platform)
+
+        def prog():
+            return
+            yield  # pragma: no cover
+
+        engine.set_process(0, prog())
+        with pytest.raises(ProtocolError, match="already"):
+            engine.set_process(0, prog())
+
+    def test_proc_time_and_events_introspection(self, small_platform):
+        def prog(ctx):
+            yield ctx.sleep(0.5 if ctx.rank == 0 else 0.1)
+
+        engine, contexts = build_engine(small_platform)
+        for rank, ctx in enumerate(contexts):
+            engine.set_process(rank, prog(ctx))
+        engine.run()
+        assert engine.proc_time(0) == pytest.approx(0.5)
+        assert engine.proc_time(1) == pytest.approx(0.1)
+        assert engine.events_processed > 0
+
+    def test_foreign_recv_wait_rejected(self, small_platform):
+        """Waiting on another rank's receive request is a protocol error."""
+        box = {}
+
+        def prog(ctx):
+            if ctx.rank == 1:
+                box["req"] = ctx.irecv(0)
+                yield ctx.sleep(1.0)
+            elif ctx.rank == 0:
+                yield ctx.sleep(0.5)
+                yield ctx.waitall(box["req"])  # not ours!
+            return None
+
+        with pytest.raises(ProtocolError, match="foreign recv"):
+            run_processes(small_platform, prog)
+
+    def test_self_message_zero_cost(self):
+        """A rank messaging itself completes instantly (no wire charges)."""
+        plat = Platform("solo", nodes=1, cores_per_node=1)
+        params = NetworkParams(send_overhead=0.0, recv_overhead=0.0)
+
+        def prog(ctx):
+            sreq = ctx.isend(0, 1 << 20, payload=None)
+            rreq = ctx.irecv(0)
+            yield ctx.waitall(sreq, rreq)
+            return ctx.time()
+
+        run = run_processes(plat, prog, params=params)
+        assert run.rank_results[0] == 0.0

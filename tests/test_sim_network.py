@@ -1,0 +1,85 @@
+"""Unit tests for the network cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.network import NetworkModel, NetworkParams
+from repro.sim.platform import Platform
+
+
+@pytest.fixture
+def model(small_platform):
+    params = NetworkParams(
+        intra_latency=1e-6,
+        inter_latency=2e-6,
+        intra_bandwidth=2e9,
+        inter_bandwidth=1e9,
+        eager_threshold=4096,
+    )
+    return NetworkModel(small_platform, params)
+
+
+class TestLinkSelection:
+    def test_same_node_detection(self, model):
+        assert model.same_node(0, 3)
+        assert not model.same_node(0, 4)
+
+    def test_intra_vs_inter_latency(self, model):
+        assert model.latency(0, 1) == 1e-6
+        assert model.latency(0, 5) == 2e-6
+
+    def test_self_message_is_free(self, model):
+        assert model.latency(2, 2) == 0.0
+        assert model.transmission_time(2, 2, 10_000) == 0.0
+
+    def test_transmission_uses_link_bandwidth(self, model):
+        assert model.transmission_time(0, 1, 2000) == pytest.approx(2000 / 2e9)
+        assert model.transmission_time(0, 5, 2000) == pytest.approx(2000 / 1e9)
+
+
+class TestProtocolSelection:
+    def test_eager_threshold_boundary(self, model):
+        assert model.is_eager(4096)
+        assert not model.is_eager(4097)
+
+    def test_point_to_point_eager_formula(self, model):
+        nbytes = 1000
+        expected = 2e-6 + 2 * nbytes / 1e9  # latency + tx + rx extraction
+        assert model.point_to_point_time(0, 5, nbytes) == pytest.approx(expected)
+
+    def test_point_to_point_rendezvous_adds_handshake(self, model):
+        nbytes = 100_000
+        eagerish = 2e-6 + 2 * nbytes / 1e9
+        expected = eagerish + 2 * 2e-6
+        assert model.point_to_point_time(0, 5, nbytes) == pytest.approx(expected)
+
+    def test_rx_serialization_toggle(self, small_platform):
+        on = NetworkModel(small_platform, NetworkParams(rx_serialization=True))
+        off = NetworkModel(small_platform, NetworkParams(rx_serialization=False))
+        assert on.point_to_point_time(0, 5, 1024) > off.point_to_point_time(0, 5, 1024)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(intra_latency=-1e-6),
+            dict(inter_bandwidth=0.0),
+            dict(send_overhead=-1.0),
+            dict(eager_threshold=-1),
+        ],
+    )
+    def test_bad_params_rejected(self, small_platform, kwargs):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(small_platform, NetworkParams(**kwargs))
+
+
+class TestSingleNode:
+    def test_all_intra(self, single_node_platform):
+        model = NetworkModel(single_node_platform, NetworkParams())
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    assert model.latency(a, b) == model.params.intra_latency

@@ -1,0 +1,75 @@
+"""Unit tests for platform topology and machine presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.platform import MACHINES, MachineSpec, Platform, get_machine
+
+
+class TestPlatform:
+    def test_rank_to_node_block_mapping(self):
+        plat = Platform("p", nodes=4, cores_per_node=8)
+        assert plat.num_ranks == 32
+        assert plat.node_of_rank(0) == 0
+        assert plat.node_of_rank(7) == 0
+        assert plat.node_of_rank(8) == 1
+        assert plat.node_of_rank(31) == 3
+
+    def test_node_table_matches_scalar_lookup(self):
+        plat = Platform("p", nodes=3, cores_per_node=5)
+        table = plat.node_of_rank_table()
+        assert table == [plat.node_of_rank(r) for r in range(plat.num_ranks)]
+
+    def test_ranks_of_node_roundtrip(self):
+        plat = Platform("p", nodes=3, cores_per_node=4)
+        for node in range(3):
+            for rank in plat.ranks_of_node(node):
+                assert plat.node_of_rank(rank) == node
+
+    def test_out_of_range_rank_rejected(self):
+        plat = Platform("p", nodes=2, cores_per_node=2)
+        with pytest.raises(ConfigurationError):
+            plat.node_of_rank(4)
+        with pytest.raises(ConfigurationError):
+            plat.ranks_of_node(2)
+
+    @pytest.mark.parametrize("nodes,cores", [(0, 4), (4, 0), (-1, 1)])
+    def test_invalid_shape_rejected(self, nodes, cores):
+        with pytest.raises(ConfigurationError):
+            Platform("bad", nodes=nodes, cores_per_node=cores)
+
+    def test_scaled_copy(self):
+        plat = Platform("p", nodes=32, cores_per_node=32)
+        small = plat.scaled(nodes=8, cores_per_node=4)
+        assert small.num_ranks == 32
+        assert plat.num_ranks == 1024  # original untouched
+
+
+class TestMachinePresets:
+    def test_all_paper_machines_present(self):
+        for name in ("simcluster", "hydra", "galileo100", "discoverer"):
+            spec = get_machine(name)
+            assert isinstance(spec, MachineSpec)
+            assert spec.platform.num_ranks > 0
+
+    def test_lookup_case_insensitive(self):
+        assert get_machine("Hydra") is MACHINES["hydra"]
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_machine("frontier")
+
+    def test_simcluster_matches_paper_section_3a(self):
+        spec = get_machine("simcluster")
+        assert spec.platform.nodes == 32
+        assert spec.platform.cores_per_node == 32
+        assert spec.network["intra_latency"] == pytest.approx(1e-6)
+        assert spec.network["inter_latency"] == pytest.approx(2e-6)
+        # 10 Gbps in bytes/s
+        assert spec.network["inter_bandwidth"] == pytest.approx(10e9 / 8)
+
+    def test_machines_have_distinct_networks(self):
+        nets = [tuple(sorted(get_machine(m).network.items())) for m in MACHINES]
+        assert len(set(nets)) == len(nets)

@@ -1,0 +1,95 @@
+"""Tests for the shared per-node NIC model (inter-node port contention)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.mpi import run_processes
+from repro.sim.network import NetworkParams
+from repro.sim.platform import Platform
+
+
+def _params(shared: bool) -> NetworkParams:
+    return NetworkParams(
+        intra_latency=1e-6,
+        inter_latency=1e-6,
+        intra_bandwidth=1e9,
+        inter_bandwidth=1e9,
+        send_overhead=0.0,
+        recv_overhead=0.0,
+        eager_threshold=1 << 30,
+        rx_serialization=False,
+        shared_node_nic=shared,
+    )
+
+
+def _two_senders_one_node(shared: bool) -> list[float]:
+    """Ranks 0 and 1 (node 0) each send 1 MB to ranks 2 and 3 (node 1)."""
+    plat = Platform("t", nodes=2, cores_per_node=2)
+    nbytes = 1_000_000
+
+    def prog(ctx):
+        if ctx.rank in (0, 1):
+            yield from ctx.send(ctx.rank + 2, nbytes=nbytes)
+        else:
+            yield from ctx.recv(ctx.rank - 2)
+        return ctx.time()
+
+    run = run_processes(plat, prog, params=_params(shared))
+    return run.rank_results
+
+
+class TestSharedNodeNic:
+    def test_same_node_senders_serialize_on_shared_nic(self):
+        times = _two_senders_one_node(shared=True)
+        tx = 1_000_000 / 1e9  # 1 ms per transfer
+        # The two receivers cannot both finish after one transfer time: the
+        # sending node's NIC carried 2 MB.
+        assert max(times[2], times[3]) >= 2 * tx
+
+    def test_private_ports_run_in_parallel(self):
+        times = _two_senders_one_node(shared=False)
+        tx = 1_000_000 / 1e9
+        assert max(times[2], times[3]) < 1.5 * tx
+
+    def test_intra_node_traffic_unaffected_by_nic(self):
+        """Intra-node messages use private ports even with shared NICs on."""
+        plat = Platform("t", nodes=2, cores_per_node=4)
+        nbytes = 1_000_000
+
+        def prog(ctx):
+            if ctx.rank in (0, 1):
+                yield from ctx.send(ctx.rank + 2, nbytes=nbytes)  # same node
+            elif ctx.rank in (2, 3):
+                yield from ctx.recv(ctx.rank - 2)
+            return ctx.time()
+
+        run = run_processes(plat, prog, params=_params(True))
+        tx = nbytes / 1e9
+        assert max(run.rank_results[2], run.rank_results[3]) < 1.5 * tx
+
+    def test_receiver_side_nic_contention(self):
+        """Two different-node senders into one node serialize on its rx NIC."""
+        plat = Platform("t", nodes=3, cores_per_node=2)
+        nbytes = 1_000_000
+        params = NetworkParams(
+            intra_latency=1e-6, inter_latency=1e-6,
+            intra_bandwidth=1e9, inter_bandwidth=1e9,
+            send_overhead=0.0, recv_overhead=0.0,
+            eager_threshold=1 << 30, rx_serialization=True,
+            shared_node_nic=True,
+        )
+
+        def prog(ctx):
+            if ctx.rank == 2:  # node 1
+                yield from ctx.send(0, nbytes=nbytes)
+            elif ctx.rank == 4:  # node 2
+                yield from ctx.send(1, nbytes=nbytes)
+            elif ctx.rank in (0, 1):  # node 0 receivers
+                yield from ctx.recv(2 if ctx.rank == 0 else 4)
+            return ctx.time()
+
+        run = run_processes(plat, prog, params=params)
+        tx = nbytes / 1e9
+        # rx extraction of 2 MB through node 0's shared NIC.
+        assert max(run.rank_results[0], run.rank_results[1]) >= 3 * tx

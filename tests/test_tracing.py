@@ -1,0 +1,150 @@
+"""Tests for the collective tracer, analysis, and trace files."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.apps import FTProxy
+from repro.collectives import CollArgs, make_input
+from repro.patterns import generate_pattern
+from repro.sim.mpi import run_processes
+from repro.sim.platform import Platform, get_machine
+from repro.tracing import (
+    CollectiveTracer,
+    average_delay_per_rank,
+    max_observed_skew,
+    pattern_from_trace,
+    read_trace,
+    write_trace,
+)
+from repro.tracing.tracer import TraceEvent
+
+
+def _run_traced(pattern_skews, ncalls=3, tracer=None):
+    """Run ``ncalls`` alltoalls with a fixed imposed arrival pattern."""
+    p = len(pattern_skews)
+    platform = Platform("t", nodes=max(1, (p + 3) // 4), cores_per_node=4)
+    tracer = tracer or CollectiveTracer()
+    args = CollArgs(count=8, msg_bytes=64.0)
+    inputs = [make_input("alltoall", r, p, 8) for r in range(p)]
+
+    def prog(ctx):
+        for call in range(ncalls):
+            yield from ctx.barrier()
+            base = ctx.time()
+            yield ctx.wait_until(base + pattern_skews[ctx.rank])
+            yield from tracer.traced(ctx, "alltoall", "bruck", args, inputs[ctx.rank])
+        return None
+
+    run_processes(platform, prog, num_ranks=p)
+    return tracer
+
+
+class TestTracer:
+    def test_records_all_calls_and_ranks(self):
+        tracer = _run_traced([0.0] * 8, ncalls=3)
+        assert tracer.num_calls("alltoall") == 3
+        for seq, events in tracer.calls("alltoall").items():
+            assert len(events) == 8
+
+    def test_call_sampling(self):
+        tracer = CollectiveTracer(call_sampling=2)
+        tracer = _run_traced([0.0] * 4, ncalls=5, tracer=tracer)
+        assert tracer.num_calls("alltoall") == 3  # calls 0, 2, 4
+
+    def test_rank_sampling(self):
+        tracer = CollectiveTracer(ranks=[0, 2])
+        tracer = _run_traced([0.0] * 4, ncalls=2, tracer=tracer)
+        assert {ev.rank for ev in tracer.events} == {0, 2}
+
+    def test_invalid_sampling_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CollectiveTracer(call_sampling=0)
+
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceEvent("alltoall", 0, 0, arrival=2.0, exit=1.0)
+
+
+class TestAnalysis:
+    def test_average_delay_recovers_imposed_pattern(self):
+        skews = [0.0, 1e-4, 2e-4, 5e-5, 0.0, 3e-4, 1e-5, 0.0]
+        tracer = _run_traced(skews, ncalls=4)
+        avg = average_delay_per_rank(tracer, "alltoall", 8)
+        # The dissemination barrier releases ranks within a few microseconds,
+        # so recovery is accurate to that scale.
+        assert np.allclose(avg, skews, atol=5e-6)
+
+    def test_max_observed_skew(self):
+        skews = [0.0, 0.0, 4e-4, 0.0]
+        tracer = _run_traced(skews, ncalls=2)
+        assert max_observed_skew(tracer, "alltoall", 4) == pytest.approx(4e-4, abs=5e-6)
+
+    def test_pattern_from_trace_is_replayable(self):
+        skews = [0.0, 2e-4, 1e-4, 0.0]
+        tracer = _run_traced(skews, ncalls=2)
+        pattern = pattern_from_trace(tracer, "alltoall", 4, name="scenario")
+        assert pattern.name == "scenario"
+        assert pattern.num_ranks == 4
+        assert np.allclose(pattern.skews, skews, atol=5e-6)
+
+    def test_missing_collective_rejected(self):
+        tracer = _run_traced([0.0] * 4, ncalls=1)
+        with pytest.raises(TraceFormatError):
+            average_delay_per_rank(tracer, "bcast", 4)
+
+    def test_rank_sampled_trace_with_no_complete_call_rejected(self):
+        tracer = CollectiveTracer(ranks=[0])
+        tracer = _run_traced([0.0] * 4, ncalls=2, tracer=tracer)
+        with pytest.raises(TraceFormatError):
+            average_delay_per_rank(tracer, "alltoall", 4)
+
+
+class TestTraceFiles:
+    def test_roundtrip(self, tmp_path):
+        tracer = _run_traced([0.0, 1e-4, 0.0, 5e-5], ncalls=2)
+        path = tmp_path / "run.trace"
+        write_trace(path, tracer, metadata={"app": "test"})
+        back, meta = read_trace(path)
+        assert meta["app"] == "test"
+        assert len(back.events) == len(tracer.events)
+        assert np.allclose(
+            average_delay_per_rank(back, "alltoall", 4),
+            average_delay_per_rank(tracer, "alltoall", 4),
+        )
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "x.trace"
+        path.write_text('{"magic": "nope", "version": 1}\n')
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+    def test_corrupt_event_rejected(self, tmp_path):
+        path = tmp_path / "x.trace"
+        path.write_text('{"magic": "repro-trace", "version": 1}\n{"c": "alltoall"}\n')
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+
+class TestFTEndToEnd:
+    def test_ft_trace_produces_structured_pattern(self):
+        """Fig. 1's phenomenon: the FT proxy yields a non-uniform, stable pattern."""
+        spec = get_machine("galileo100")
+        ft = FTProxy.class_d_scaled(spec, nodes=4, cores_per_node=4, seed=7)
+        tracer = CollectiveTracer()
+        result = ft.run(tracer)
+        assert result.runtime > 0
+        assert tracer.num_calls("alltoall") == result.collective_calls
+        avg = average_delay_per_rank(tracer, "alltoall", 16)
+        # Delays differ meaningfully across ranks (the paper's observation).
+        assert avg.max() > 0
+        assert np.std(avg) > 0.05 * avg.max()
+
+    def test_ft_is_alltoall_dominant(self):
+        spec = get_machine("hydra")
+        ft = FTProxy.class_d_scaled(spec, nodes=4, cores_per_node=4, seed=1)
+        result = ft.run()
+        assert 0.05 < result.mpi_fraction < 0.95
+        assert result.collective_calls == ft.iterations * ft.calls_per_iteration

@@ -1,0 +1,48 @@
+"""Tests for the Open-MPI-style fixed decision logic."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.collectives  # noqa: F401 - populate registry
+from repro.errors import ConfigurationError
+from repro.collectives.tuned import fixed_decision, validate_fixed_decisions
+
+
+class TestFixedDecision:
+    def test_every_decision_is_a_registered_algorithm(self):
+        validate_fixed_decisions()
+
+    def test_alltoall_thresholds(self):
+        assert fixed_decision("alltoall", 32, 64) == "bruck"
+        assert fixed_decision("alltoall", 8, 64) == "basic_linear"  # small comm
+        assert fixed_decision("alltoall", 32, 2048) == "basic_linear"
+        assert fixed_decision("alltoall", 32, 1 << 20) == "pairwise"
+
+    def test_allreduce_thresholds(self):
+        assert fixed_decision("allreduce", 32, 8) == "recursive_doubling"
+        assert fixed_decision("allreduce", 32, 65536) == "rabenseifner"
+        assert fixed_decision("allreduce", 32, 1 << 22) == "ring"
+
+    def test_reduce_thresholds(self):
+        assert fixed_decision("reduce", 32, 8) == "binomial"
+        assert fixed_decision("reduce", 32, 65536) == "binary"
+        assert fixed_decision("reduce", 32, 1 << 20) == "rabenseifner"
+
+    def test_bcast_thresholds(self):
+        assert fixed_decision("bcast", 32, 8) == "binomial"
+        assert fixed_decision("bcast", 32, 1 << 22) == "scatter_allgather"
+
+    def test_size_monotone_families_have_no_gaps(self):
+        """Every power-of-two size resolves for every family (no dead zones)."""
+        for coll in ("alltoall", "allreduce", "reduce", "bcast", "allgather"):
+            for exp in range(0, 25):
+                assert fixed_decision(coll, 64, 2**exp)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fixed_decision("alltoall", 0, 8)
+        with pytest.raises(ConfigurationError):
+            fixed_decision("alltoall", 4, -1)
+        with pytest.raises(ConfigurationError):
+            fixed_decision("alltoallw", 4, 8)
