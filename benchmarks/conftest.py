@@ -5,6 +5,12 @@ reduced-but-representative scale and *asserts its shape-level claim* — so a
 green benchmark run doubles as a reproduction check.  Experiment drivers are
 deterministic, so one round suffices; ``run_once`` wraps
 ``benchmark.pedantic`` accordingly.
+
+Sweep cells run through :mod:`repro.bench.executor`, so setting
+``REPRO_CACHE_DIR=<dir>`` makes repeated benchmark runs skip every
+already-simulated cell (results are byte-identical either way; see
+docs/performance.md).  Leave it unset when the point is to *time* the
+simulator rather than re-check the figures' claims.
 """
 
 from __future__ import annotations

@@ -20,8 +20,20 @@ from repro.bench.robustness import (
 from repro.bench.runner import sweep_per_algorithm_skew, sweep_shared_skew
 from repro.bench.stats import Summary, summarize
 from repro.bench.campaign import CampaignResult, TuningCampaign
+from repro.bench.executor import (
+    CellExecutor,
+    CellSpec,
+    ExecutorStats,
+    PatternSpec,
+    ResultCache,
+)
 
 __all__ = [
+    "CellExecutor",
+    "CellSpec",
+    "ExecutorStats",
+    "PatternSpec",
+    "ResultCache",
     "CollectiveTiming",
     "total_delay",
     "last_delay",

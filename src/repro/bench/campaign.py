@@ -12,7 +12,11 @@ authors' own autotuner):
 4. persist everything — raw sweeps (JSON), the table (JSON), and an Open
    MPI ``coll_tuned`` dynamic-rules file ready for deployment.
 
-Exposed on the CLI as ``repro-mpi tune``.
+Campaign cells fan out over a process pool (``jobs``) and reuse a
+content-addressed on-disk result cache (``cache_dir``) — see
+:mod:`repro.bench.executor`; parallel output is byte-identical to serial.
+
+Exposed on the CLI as ``repro-mpi tune`` (``--jobs``, ``--cache-dir``).
 """
 
 from __future__ import annotations
@@ -25,11 +29,13 @@ from typing import Sequence
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+from repro.bench.executor import CellExecutor, CellSpec, ExecutorStats
 from repro.bench.micro import MicroBenchmark
 from repro.bench.results import SweepResult
-from repro.bench.runner import sweep_shared_skew
 from repro.collectives.base import list_algorithms
-from repro.patterns.shapes import list_shapes
+from repro.patterns.generator import generate_pattern
+from repro.patterns.shapes import NO_DELAY, list_shapes
+from repro.patterns.skew import DEFAULT_SKEW_FACTOR, skew_from_mean_runtime
 from repro.utils.units import format_bytes, parse_bytes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -57,6 +63,9 @@ class CampaignResult:
     table: "SelectionTable"
     sweeps: dict[tuple[str, float], SweepResult] = field(default_factory=dict)
     winners: dict[tuple[str, float], str] = field(default_factory=dict)
+    #: Cache-hit and per-cell timing counters from the executor that ran the
+    #: campaign (speedup and hit-rate reporting).
+    stats: ExecutorStats | None = None
 
     def summary_rows(self) -> list[list[str]]:
         return [
@@ -74,8 +83,15 @@ class TuningCampaign:
     msg_sizes: Sequence[int | str] = DEFAULT_SIZES
     shapes: Sequence[str] = ()
     strategy: "SelectionStrategy | None" = None
-    skew_factor: float = 1.0
+    #: Shared-skew factor; defaults to the paper's headline 1.5 so a default
+    #: campaign tunes under the same conditions as the headline figures (see
+    #: repro.patterns.skew.SKEW_FACTORS / DEFAULT_SKEW_FACTOR).
+    skew_factor: float = DEFAULT_SKEW_FACTOR
     seed: int = 0
+    #: Worker processes for the cell fan-out (1 = in-process serial).
+    jobs: int = 1
+    #: Enables the on-disk result cache when set (see repro.bench.executor).
+    cache_dir: str | Path | None = None
 
     def __post_init__(self) -> None:
         from repro.selection.strategies import RobustAverageSelector
@@ -96,24 +112,76 @@ class TuningCampaign:
             raise ConfigurationError("campaign needs at least one message size")
         self._shapes = list(self.shapes) or list_shapes()
 
-    def run(self, progress=None) -> CampaignResult:
-        """Execute the campaign; ``progress(collective, size)`` is called per cell."""
+    def make_executor(self) -> CellExecutor:
+        """The executor this campaign's cells run through."""
+        return CellExecutor(jobs=self.jobs, cache_dir=self.cache_dir)
+
+    def run(self, progress=None, executor: CellExecutor | None = None) -> CampaignResult:
+        """Execute the campaign; ``progress(collective, size)`` is called per cell.
+
+        Two-phase fan-out: the No-delay baselines for *every* campaign cell
+        run first (they size each cell's shared skew), then all skewed cells
+        across the whole grid fan out in one batch.  With ``jobs > 1`` both
+        batches spread over a process pool; results merge back in grid order,
+        so the output is identical to a serial run.
+        """
         from repro.selection.table import SelectionTable
 
+        if executor is None:
+            executor = self.make_executor()
         table = SelectionTable(strategy_name=self.strategy.name)
-        result = CampaignResult(table=table)
-        for coll in self.collectives:
-            algorithms = list_algorithms(coll)
-            for size in self._sizes:
-                if progress is not None:
-                    progress(coll, size)
-                sweep = sweep_shared_skew(
-                    self.bench, coll, algorithms, size, self._shapes,
-                    skew_factor=self.skew_factor, seed=self.seed,
+        result = CampaignResult(table=table, stats=executor.stats)
+        machine = self.bench.machine_name or self.bench.platform.name
+        shapes = [s for s in self._shapes if s != NO_DELAY]
+        grid = [
+            (coll, list_algorithms(coll), size)
+            for coll in self.collectives
+            for size in self._sizes
+        ]
+        # Phase 1: No-delay baselines for every (collective, size, algorithm).
+        base_specs = []
+        for coll, algorithms, size in grid:
+            if progress is not None:
+                progress(coll, size)
+            base_specs.extend(
+                CellSpec.from_bench(self.bench, coll, algo, size)
+                for algo in algorithms
+            )
+        base_results = iter(executor.run_cells(base_specs))
+        # Size each cell's skew from its baselines; build the skewed batch.
+        sweeps: list[SweepResult] = []
+        skewed_specs = []
+        for coll, algorithms, size in grid:
+            sweep = SweepResult(
+                collective=coll, msg_bytes=float(size),
+                num_ranks=self.bench.num_ranks, machine=machine,
+            )
+            no_delay_runtimes: dict[str, float] = {}
+            for algo in algorithms:
+                cell = next(base_results)
+                sweep.add(cell)
+                no_delay_runtimes[algo] = cell.last_delay
+            sweep.skew_by_pattern[NO_DELAY] = 0.0
+            skew = skew_from_mean_runtime(no_delay_runtimes, self.skew_factor)
+            for shape in shapes:
+                pattern = generate_pattern(
+                    shape, self.bench.num_ranks, skew, seed=self.seed
                 )
-                winner = table.add_sweep(sweep, self.strategy)
-                result.sweeps[(coll, float(size))] = sweep
-                result.winners[(coll, float(size))] = winner
+                sweep.skew_by_pattern[shape] = skew
+                skewed_specs.extend(
+                    CellSpec.from_bench(self.bench, coll, algo, size, pattern)
+                    for algo in algorithms
+                )
+            sweeps.append(sweep)
+        # Phase 2: every skewed cell across the whole campaign fans out.
+        skewed_results = iter(executor.run_cells(skewed_specs))
+        for (coll, algorithms, size), sweep in zip(grid, sweeps):
+            for _shape in shapes:
+                for _algo in algorithms:
+                    sweep.add(next(skewed_results))
+            winner = table.add_sweep(sweep, self.strategy)
+            result.sweeps[(coll, float(size))] = sweep
+            result.winners[(coll, float(size))] = winner
         return result
 
     def save(self, result: CampaignResult, outdir: str | Path) -> dict[str, Path]:

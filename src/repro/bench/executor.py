@@ -1,0 +1,415 @@
+"""Parallel sweep-cell execution with a content-addressed result cache.
+
+Every simulation cell — one ``(collective, algorithm, msg_bytes, pattern)``
+measurement on one configured harness — is pure and deterministic, so sweeps
+are embarrassingly parallel and their results are perfectly cacheable.  This
+module supplies the three pieces the sweep drivers build on:
+
+* :class:`CellSpec`: a picklable, JSON-serializable value object capturing
+  *everything* that determines a cell's outcome (platform, network
+  parameters, harness knobs, collective/algorithm/size, and the concrete
+  arrival pattern).  ``CellSpec.run()`` reproduces ``MicroBenchmark.run``
+  bit for bit.
+* :class:`ResultCache`: an on-disk store of finished cells keyed by the
+  SHA-256 of the canonical spec JSON plus the model version — any change to
+  the spec *or* to the simulator version misses and re-simulates.
+* :class:`CellExecutor`: runs a batch of specs — inline for ``jobs=1``, over
+  a :class:`concurrent.futures.ProcessPoolExecutor` otherwise — and always
+  returns results in the order the specs were given, so parallel sweeps are
+  byte-identical to serial ones.  Per-cell timings and cache hit/miss
+  counters accumulate on :class:`ExecutorStats`.
+
+Environment overrides (picked up when a sweep builds its default executor):
+``REPRO_JOBS`` sets the worker count and ``REPRO_CACHE_DIR`` enables the
+cache — so re-runs of ``benchmarks/bench_*.py`` and the experiment drivers
+can skip already-simulated cells without any code change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.micro import MicroBenchmark
+    from repro.bench.results import BenchResult
+    from repro.patterns.generator import ArrivalPattern
+
+#: Version stamp mixed into every cache key.  Bump the package version (or
+#: this constant) whenever the simulator's numerics change: every cached
+#: record then misses and cells are re-simulated.
+MODEL_VERSION = __version__
+
+
+# --------------------------------------------------------------------------- #
+# Cell specification
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class PatternSpec:
+    """Picklable description of one concrete arrival pattern.
+
+    The per-rank skews are stored explicitly (not as shape + seed) so traced
+    application scenarios and generated shapes serialize identically and the
+    cache key covers the exact delays each rank saw.
+    """
+
+    name: str
+    skews: tuple[float, ...]
+
+    @classmethod
+    def from_pattern(cls, pattern: "ArrivalPattern") -> "PatternSpec":
+        return cls(name=pattern.name, skews=tuple(float(s) for s in pattern.skews))
+
+    def build(self) -> "ArrivalPattern":
+        import numpy as np
+
+        from repro.patterns.generator import ArrivalPattern
+
+        return ArrivalPattern(self.name, np.array(self.skews, dtype=float))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "skews": list(self.skews)}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Everything that determines one benchmark cell's result.
+
+    A spec is self-contained: ``run()`` rebuilds the harness from scratch in
+    any process and produces the same :class:`~repro.bench.results.BenchResult`
+    the originating :class:`~repro.bench.micro.MicroBenchmark` would.
+    """
+
+    # -- harness ------------------------------------------------------- #
+    platform_name: str
+    nodes: int
+    cores_per_node: int
+    nodes_per_group: int | None
+    network: tuple[tuple[str, object], ...]  # sorted NetworkParams items
+    nrep: int
+    seed: int
+    clock_mode: str
+    noise_profile: str
+    count: int
+    harmonize_slack: float
+    machine_name: str
+    # -- cell ---------------------------------------------------------- #
+    collective: str
+    algorithm: str
+    msg_bytes: float
+    pattern: PatternSpec | None
+    op: str = "sum"
+    segment_bytes: float | None = None
+
+    @classmethod
+    def from_bench(
+        cls,
+        bench: "MicroBenchmark",
+        collective: str,
+        algorithm: str,
+        msg_bytes: float,
+        pattern: "ArrivalPattern | None" = None,
+        **run_kwargs,
+    ) -> "CellSpec":
+        """Capture one ``bench.run(...)`` call as a value object."""
+        from dataclasses import asdict
+
+        unknown = set(run_kwargs) - {"op", "segment_bytes"}
+        if unknown:
+            raise ConfigurationError(
+                f"cannot serialize bench.run kwargs {sorted(unknown)}; "
+                "supported: op, segment_bytes"
+            )
+        op = run_kwargs.get("op")
+        segment_bytes = run_kwargs.get("segment_bytes")
+        return cls(
+            platform_name=bench.platform.name,
+            nodes=bench.platform.nodes,
+            cores_per_node=bench.platform.cores_per_node,
+            nodes_per_group=bench.platform.nodes_per_group,
+            network=tuple(sorted(asdict(bench.params).items())),
+            nrep=bench.nrep,
+            seed=bench.seed,
+            clock_mode=bench.clock_mode,
+            noise_profile=bench.noise_profile,
+            count=bench.count,
+            harmonize_slack=bench.harmonize_slack,
+            machine_name=bench.machine_name,
+            collective=collective,
+            algorithm=algorithm,
+            msg_bytes=float(msg_bytes),
+            pattern=PatternSpec.from_pattern(pattern) if pattern is not None else None,
+            op=op.name if op is not None else "sum",
+            segment_bytes=float(segment_bytes) if segment_bytes is not None else None,
+        )
+
+    def make_bench(self) -> "MicroBenchmark":
+        """Rebuild the harness this spec was captured from (value-equal)."""
+        from repro.bench.micro import MicroBenchmark
+        from repro.sim.network import NetworkParams
+        from repro.sim.platform import Platform
+
+        platform = Platform(
+            name=self.platform_name,
+            nodes=self.nodes,
+            cores_per_node=self.cores_per_node,
+            nodes_per_group=self.nodes_per_group,
+        )
+        return MicroBenchmark(
+            platform=platform,
+            params=NetworkParams(**dict(self.network)),
+            nrep=self.nrep,
+            seed=self.seed,
+            clock_mode=self.clock_mode,
+            noise_profile=self.noise_profile,
+            count=self.count,
+            harmonize_slack=self.harmonize_slack,
+            machine_name=self.machine_name,
+        )
+
+    def run(self) -> "BenchResult":
+        """Simulate this cell from scratch (the worker-side entry point)."""
+        from repro.collectives.ops import get_op
+
+        bench = self.make_bench()
+        pattern = self.pattern.build() if self.pattern is not None else None
+        return bench.run(
+            self.collective,
+            self.algorithm,
+            self.msg_bytes,
+            pattern,
+            op=get_op(self.op),
+            segment_bytes=self.segment_bytes,
+        )
+
+    # -- hashing ------------------------------------------------------- #
+
+    def to_dict(self) -> dict:
+        return {
+            "platform": {
+                "name": self.platform_name,
+                "nodes": self.nodes,
+                "cores_per_node": self.cores_per_node,
+                "nodes_per_group": self.nodes_per_group,
+            },
+            "network": {k: v for k, v in self.network},
+            "nrep": self.nrep,
+            "seed": self.seed,
+            "clock_mode": self.clock_mode,
+            "noise_profile": self.noise_profile,
+            "count": self.count,
+            "harmonize_slack": self.harmonize_slack,
+            "machine_name": self.machine_name,
+            "collective": self.collective,
+            "algorithm": self.algorithm,
+            "msg_bytes": self.msg_bytes,
+            "pattern": self.pattern.to_dict() if self.pattern is not None else None,
+            "op": self.op,
+            "segment_bytes": self.segment_bytes,
+        }
+
+    def cache_key(self) -> str:
+        """SHA-256 over the canonical spec JSON and the model version."""
+        payload = {"model_version": MODEL_VERSION, "spec": self.to_dict()}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def run_cell(spec: CellSpec) -> "BenchResult":
+    """Module-level worker function (must stay picklable by reference)."""
+    return spec.run()
+
+
+def _run_cell_timed(spec: CellSpec) -> tuple["BenchResult", float]:
+    # CPU time, not wall time: on an oversubscribed machine a worker's wall
+    # clock includes time spent descheduled, which would inflate the
+    # serial-equivalent estimate the speedup counter is based on.
+    started = time.process_time()
+    result = run_cell(spec)
+    return result, time.process_time() - started
+
+
+# --------------------------------------------------------------------------- #
+# On-disk result cache
+# --------------------------------------------------------------------------- #
+
+class ResultCache:
+    """Content-addressed store of finished cells under ``cache_dir``.
+
+    Layout: ``<cache_dir>/<key[:2]>/<key>.json`` where ``key`` is
+    :meth:`CellSpec.cache_key`.  Each record is self-describing — it embeds
+    the model version, the full spec, and the raw per-repetition timestamps —
+    so a cache directory doubles as a provenance log.  Records never go
+    stale silently: the version is part of the key, so a simulator change
+    simply misses.
+    """
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        if self.cache_dir.exists() and not self.cache_dir.is_dir():
+            raise ConfigurationError(
+                f"cache dir {self.cache_dir} exists and is not a directory"
+            )
+
+    def path_for(self, key: str) -> Path:
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def get(self, spec: CellSpec) -> "BenchResult | None":
+        from repro.bench.results import BenchResult
+
+        path = self.path_for(spec.cache_key())
+        if not path.exists():
+            return None
+        try:
+            record = json.loads(path.read_text())
+            if record.get("model_version") != MODEL_VERSION:
+                return None
+            return BenchResult.from_dict(record["result"])
+        except (ValueError, KeyError, ConfigurationError):
+            return None  # corrupt record: treat as a miss, re-simulate
+
+    def put(self, spec: CellSpec, result: "BenchResult") -> Path:
+        key = spec.cache_key()
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "model_version": MODEL_VERSION,
+            "key": key,
+            "spec": spec.to_dict(),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(record))
+        tmp.replace(path)  # atomic: concurrent writers race benignly
+        return path
+
+
+# --------------------------------------------------------------------------- #
+# Executor
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class ExecutorStats:
+    """Cache and timing counters accumulated over one executor's lifetime."""
+
+    cells: int = 0
+    hits: int = 0
+    simulated: int = 0
+    #: Summed simulation time of every executed cell (worker-side CPU
+    #: seconds — the serial-equivalent cost of the simulated cells).
+    sim_seconds: float = 0.0
+    #: Wall-clock spent inside ``run_cells`` (parent-side seconds).
+    wall_seconds: float = 0.0
+    #: Per-cell simulation durations, in completion order.
+    cell_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.cells if self.cells else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Estimated speedup vs. serial uncached execution of the same cells."""
+        return self.sim_seconds / self.wall_seconds if self.wall_seconds > 0 else 1.0
+
+    def summary(self) -> str:
+        # Floor the percentage: "100%" must mean every cell hit, not 99.6%.
+        head = (
+            f"{self.cells} cells: {self.simulated} simulated, "
+            f"{self.hits} cache hits ({int(self.hit_rate * 100)}% hit rate); "
+        )
+        if self.simulated == 0:
+            return head + f"all served from cache in {self.wall_seconds:.2f}s wall"
+        return head + (
+            f"cell time {self.sim_seconds:.2f}s in {self.wall_seconds:.2f}s wall "
+            f"({self.speedup:.1f}x vs serial uncached)"
+        )
+
+
+class CellExecutor:
+    """Runs batches of :class:`CellSpec` with optional parallelism + caching.
+
+    Results always come back in the order the specs were given, regardless
+    of the completion order in the pool — the deterministic merge that keeps
+    ``--jobs N`` output byte-identical to the serial path.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: str | Path | None = None) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.stats = ExecutorStats()
+
+    @classmethod
+    def from_env(cls, jobs: int | None = None,
+                 cache_dir: str | Path | None = None) -> "CellExecutor":
+        """Build an executor honoring ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``."""
+        if jobs is None:
+            jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        return cls(jobs=jobs, cache_dir=cache_dir)
+
+    def run_cells(
+        self,
+        specs: Sequence[CellSpec],
+        progress: Callable[[CellSpec], None] | None = None,
+    ) -> list["BenchResult"]:
+        """Execute every spec; returns results aligned with ``specs``."""
+        started = time.perf_counter()
+        results: list["BenchResult | None"] = [None] * len(specs)
+        pending: list[int] = []
+        for i, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                results[i] = cached
+                self.stats.hits += 1
+            else:
+                pending.append(i)
+            if progress is not None:
+                progress(spec)
+        if len(pending) > 1 and self.jobs > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for i, (result, seconds) in zip(
+                    pending, pool.map(_run_cell_timed, [specs[i] for i in pending])
+                ):
+                    results[i] = self._record(specs[i], result, seconds)
+        else:
+            for i in pending:
+                result, seconds = _run_cell_timed(specs[i])
+                results[i] = self._record(specs[i], result, seconds)
+        self.stats.cells += len(specs)
+        self.stats.wall_seconds += time.perf_counter() - started
+        return results  # type: ignore[return-value]
+
+    def _record(self, spec: CellSpec, result: "BenchResult",
+                seconds: float) -> "BenchResult":
+        if self.cache is not None:
+            self.cache.put(spec, result)
+        self.stats.simulated += 1
+        self.stats.sim_seconds += seconds
+        self.stats.cell_seconds.append(seconds)
+        return result
+
+
+__all__ = [
+    "MODEL_VERSION",
+    "PatternSpec",
+    "CellSpec",
+    "run_cell",
+    "ResultCache",
+    "ExecutorStats",
+    "CellExecutor",
+]

@@ -75,7 +75,33 @@ class BenchResult:
             "nrep": self.nrep,
             "last_delays": self.last_delays.tolist(),
             "total_delays": self.total_delays.tolist(),
+            "timings": [
+                {"arrivals": t.arrivals.tolist(), "exits": t.exits.tolist()}
+                for t in self.timings
+            ],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchResult":
+        """Rebuild a result from :meth:`to_dict` output (exact round trip)."""
+        try:
+            timings = [
+                CollectiveTiming(np.array(t["arrivals"], dtype=float),
+                                 np.array(t["exits"], dtype=float))
+                for t in data["timings"]
+            ]
+            return cls(
+                collective=data["collective"],
+                algorithm=data["algorithm"],
+                msg_bytes=float(data["msg_bytes"]),
+                num_ranks=int(data["num_ranks"]),
+                pattern_name=data["pattern"],
+                max_skew=float(data["max_skew"]),
+                timings=timings,
+                machine=data.get("machine", ""),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(f"BenchResult dict missing {exc}") from None
 
 
 @dataclass
@@ -91,6 +117,11 @@ class SweepResult:
     num_ranks: int
     cells: dict[tuple[str, str], BenchResult] = field(default_factory=dict)
     skew_by_pattern: dict[str, float] = field(default_factory=dict)
+    #: Fig. 6 sweeps scale the skew to each algorithm's own runtime, so one
+    #: pattern has *per-algorithm* magnitudes: ``{pattern: {algorithm: skew}}``
+    #: (``skew_by_pattern`` then carries the per-pattern mean).  Shared-skew
+    #: sweeps leave this empty.
+    per_algorithm_skews: dict[str, dict[str, float]] = field(default_factory=dict)
     machine: str = ""
 
     def add(self, result: BenchResult) -> None:
@@ -142,8 +173,30 @@ class SweepResult:
             "num_ranks": self.num_ranks,
             "machine": self.machine,
             "skew_by_pattern": self.skew_by_pattern,
+            "per_algorithm_skews": self.per_algorithm_skews,
             "cells": [r.to_dict() for r in self.cells.values()],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        """Rebuild a sweep from :meth:`to_dict` output (cell order preserved)."""
+        try:
+            sweep = cls(
+                collective=data["collective"],
+                msg_bytes=float(data["msg_bytes"]),
+                num_ranks=int(data["num_ranks"]),
+                machine=data.get("machine", ""),
+                skew_by_pattern=dict(data["skew_by_pattern"]),
+                per_algorithm_skews={
+                    pattern: dict(skews)
+                    for pattern, skews in data.get("per_algorithm_skews", {}).items()
+                },
+            )
+            for cell in data["cells"]:
+                sweep.add(BenchResult.from_dict(cell))
+        except KeyError as exc:
+            raise ConfigurationError(f"SweepResult dict missing {exc}") from None
+        return sweep
 
     def save_json(self, path: str | Path) -> None:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2))

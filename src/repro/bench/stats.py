@@ -65,8 +65,13 @@ def winsorize(values: np.ndarray, fraction: float = 0.05) -> np.ndarray:
 def median_ci(values: np.ndarray, confidence: float = 0.95) -> tuple[float, float]:
     """Nonparametric (order-statistic) confidence interval for the median.
 
-    Uses the binomial distribution of the number of observations below the
-    median; for tiny samples the interval degenerates to (min, max).
+    Standard binomial construction [Conover, Practical Nonparametric
+    Statistics]: with ``B ~ Binom(n, 1/2)`` counting observations below the
+    median, the interval is ``(x_(l), x_(u))`` in 1-based order statistics
+    with ``l = binom.ppf(alpha/2, n, 1/2)`` and
+    ``u = binom.ppf(1 - alpha/2, n, 1/2) + 1``.  Its exact coverage is
+    ``P(l <= B <= u-1) = cdf(u-1) - cdf(l-1) >= confidence``.  For tiny
+    samples the interval degenerates to (min, max).
     """
     values = np.sort(np.asarray(values, dtype=float))
     n = values.size
@@ -77,10 +82,10 @@ def median_ci(values: np.ndarray, confidence: float = 0.95) -> tuple[float, floa
     if n < 3:
         return float(values[0]), float(values[-1])
     alpha = 1.0 - confidence
-    lower = int(sps.binom.ppf(alpha / 2, n, 0.5))
-    upper = int(sps.binom.ppf(1 - alpha / 2, n, 0.5))
-    lower = max(0, min(lower, n - 1))
-    upper = max(0, min(upper, n - 1))
+    lower_stat = int(sps.binom.ppf(alpha / 2, n, 0.5))        # l, 1-based
+    upper_stat = int(sps.binom.ppf(1 - alpha / 2, n, 0.5)) + 1  # u, 1-based
+    lower = max(0, min(lower_stat - 1, n - 1))  # 0-based indices
+    upper = max(0, min(upper_stat - 1, n - 1))
     return float(values[lower]), float(values[upper])
 
 

@@ -34,6 +34,12 @@ def _add_common(parser: argparse.ArgumentParser, machine_default: str = "hydra",
                         help="shrink sweeps for a quick run")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="also dump raw results as JSON")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the sweep fan-out "
+                        "(default: 1 = serial; output is identical either way)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="content-addressed result cache; re-runs skip "
+                        "already-simulated cells")
 
 
 def _config(args: argparse.Namespace, machine: str | None = None) -> ExperimentConfig:
@@ -44,6 +50,8 @@ def _config(args: argparse.Namespace, machine: str | None = None) -> ExperimentC
         seed=args.seed,
         nrep=args.nrep,
         fast=args.fast,
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=getattr(args, "cache_dir", None),
     )
 
 
@@ -268,11 +276,14 @@ def main(argv: list[str] | None = None) -> int:
             collectives=args.collectives,
             msg_sizes=args.sizes,
             seed=config.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
         )
         result = campaign.run(
             progress=lambda c, s: print(f"  tuning {c} @ {s} B ...", file=sys.stderr)
         )
         paths = campaign.save(result, args.out)
+        print(f"  [{result.stats.summary()}]", file=sys.stderr)
         print(render_table(["collective", "size", "selected algorithm"],
                            result.summary_rows(),
                            title=f"Tuned table ({config.machine}, "

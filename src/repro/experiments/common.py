@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
+from repro.bench.executor import CellExecutor
 from repro.bench.micro import MicroBenchmark
 from repro.sim.platform import get_machine
 
@@ -57,12 +58,18 @@ class ExperimentConfig:
     nrep: int = 1
     skew_factor: float = 1.5
     fast: bool = False
+    #: Worker processes for sweep fan-out (1 = serial; results identical).
+    jobs: int = 1
+    #: On-disk result cache directory (None disables caching).
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.nodes <= 0 or self.cores_per_node <= 0:
             raise ConfigurationError("nodes/cores_per_node must be positive")
         if self.nrep <= 0:
             raise ConfigurationError("nrep must be positive")
+        if self.jobs <= 0:
+            raise ConfigurationError("jobs must be positive")
         get_machine(self.machine)  # validate early
 
     @property
@@ -82,6 +89,18 @@ class ExperimentConfig:
         kwargs.setdefault("seed", self.seed)
         return MicroBenchmark.from_machine(
             spec, nodes=self.nodes, cores_per_node=self.cores_per_node, **kwargs
+        )
+
+    def make_executor(self) -> CellExecutor:
+        """One executor per experiment run, so its counters span all sweeps.
+
+        Falls back to the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` environment
+        overrides when the config leaves the defaults, so benchmark re-runs
+        can opt into caching without touching driver code.
+        """
+        return CellExecutor.from_env(
+            jobs=self.jobs if self.jobs != 1 else None,
+            cache_dir=self.cache_dir,
         )
 
     def msg_sizes(self) -> list[int]:

@@ -85,10 +85,12 @@ def run(config: ExperimentConfig | None = None, collective: str = "reduce") -> F
         shapes=shapes,
         algorithms=algorithms,
     )
+    executor = config.make_executor()
     for size in msg_sizes:
         result.sweeps[size] = sweep_shared_skew(
             bench, collective, algorithms, size, shapes,
             skew_factor=config.skew_factor, seed=config.seed,
+            executor=executor,
         )
     return result
 

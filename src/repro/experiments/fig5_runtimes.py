@@ -62,11 +62,13 @@ def run(config: ExperimentConfig | None = None, collective: str = "reduce") -> F
         shapes=shapes,
         algorithms=algorithms,
     )
+    executor = config.make_executor()
     for size in msg_sizes:
         result.sweeps[size] = sweep_shared_skew(
             bench, collective, algorithms, size, shapes,
             skew_factor=1.0,  # Fig. 5 scales skew to the mean No-delay runtime
             seed=config.seed,
+            executor=executor,
         )
     return result
 

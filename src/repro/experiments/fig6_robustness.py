@@ -72,9 +72,11 @@ def run(config: ExperimentConfig | None = None, collective: str = "reduce") -> F
         shapes=shapes,
         algorithms=algorithms,
     )
+    executor = config.make_executor()
     for size in msg_sizes:
         result.sweeps[size] = sweep_per_algorithm_skew(
-            bench, collective, algorithms, size, shapes, seed=config.seed
+            bench, collective, algorithms, size, shapes, seed=config.seed,
+            executor=executor,
         )
     return result
 

@@ -23,6 +23,13 @@ from repro.errors import ConfigurationError
 #: headline results (Fig. 4) use 1.5.
 SKEW_FACTORS = (0.5, 1.0, 1.5)
 
+#: The factor shared-skew sweeps and tuning campaigns use when none is
+#: given — the paper's headline 1.5 (the strongest of :data:`SKEW_FACTORS`).
+#: Every default entry point must agree on this value; a campaign tuning
+#: under a different skew than the figures it claims to reproduce would
+#: silently select under non-headline conditions.
+DEFAULT_SKEW_FACTOR = SKEW_FACTORS[-1]
+
 
 def skew_from_mean_runtime(runtimes: Sequence[float] | Mapping[str, float],
                            factor: float = 1.5) -> float:

@@ -118,6 +118,38 @@ class TestSweeps:
             sweep.get(NO_DELAY, "bruck").last_delay, rel=1e-6
         )
 
+    def test_per_algorithm_skew_metadata_recorded(self, bench):
+        # Regression: per-shape skews used to be dropped entirely — only the
+        # no_delay entry existed and skew_by_pattern[shape] raised KeyError.
+        algos = ["bruck", "pairwise"]
+        sweep = sweep_per_algorithm_skew(
+            bench, "alltoall", algos, 1024, ["last_delayed"]
+        )
+        per_algo = sweep.per_algorithm_skews["last_delayed"]
+        assert set(per_algo) == set(algos)
+        for algo in algos:
+            assert per_algo[algo] == pytest.approx(
+                sweep.get(NO_DELAY, algo).last_delay, rel=1e-6
+            )
+        assert sweep.skew_by_pattern[NO_DELAY] == 0.0
+        assert sweep.skew_by_pattern["last_delayed"] == pytest.approx(
+            np.mean(list(per_algo.values()))
+        )
+
+    def test_per_algorithm_skews_round_trip_through_dict(self, bench):
+        from repro.bench.results import SweepResult
+
+        sweep = sweep_per_algorithm_skew(
+            bench, "alltoall", ["bruck", "pairwise"], 1024, ["last_delayed"]
+        )
+        rebuilt = SweepResult.from_dict(sweep.to_dict())
+        assert rebuilt.per_algorithm_skews == sweep.per_algorithm_skews
+        assert rebuilt.skew_by_pattern == sweep.skew_by_pattern
+
+    def test_shared_skew_sweep_has_no_per_algorithm_skews(self, bench):
+        sweep = sweep_shared_skew(bench, "alltoall", ["bruck"], 64, ["bell"])
+        assert sweep.per_algorithm_skews == {}
+
     def test_empty_algorithm_list_rejected(self, bench):
         with pytest.raises(ConfigurationError):
             sweep_shared_skew(bench, "alltoall", [], 64, ["bell"])

@@ -71,6 +71,47 @@ class TestMedianCI:
         lo, hi = median_ci(np.array(values))
         assert min(values) <= lo <= hi <= max(values)
 
+    @staticmethod
+    def _order_stats(n: int, confidence: float) -> tuple[int, int]:
+        """1-based (l, u) the implementation picks, recovered via identity data."""
+        lo, hi = median_ci(np.arange(1, n + 1, dtype=float), confidence)
+        return int(lo), int(hi)
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            # Known 95% order-statistic pairs (Conover, Table A3 style):
+            (6, (1, 6)),    # coverage 0.96875
+            (8, (1, 8)),    # coverage 0.99219
+            (10, (2, 9)),   # coverage 0.97852
+            (15, (4, 12)),  # coverage 0.96484
+            (20, (6, 15)),  # coverage 0.95861
+        ],
+    )
+    def test_known_table_indices_at_95(self, n, expected):
+        assert self._order_stats(n, 0.95) == expected
+
+    @pytest.mark.parametrize("confidence", [0.90, 0.95, 0.99])
+    @pytest.mark.parametrize("n", list(range(3, 51)))
+    def test_exact_coverage_meets_nominal(self, n, confidence):
+        # Coverage of (x_(l), x_(u)) is P(l <= B <= u-1), B ~ Binom(n, 1/2).
+        # No interval of n order statistics can exceed the (x_(1), x_(n))
+        # coverage 1 - 2 * 0.5^n, so tiny samples cap there (full range).
+        from scipy import stats as sps
+
+        l, u = self._order_stats(n, confidence)
+        coverage = sps.binom.cdf(u - 1, n, 0.5) - sps.binom.cdf(l - 1, n, 0.5)
+        achievable = min(confidence, 1.0 - 2.0 * 0.5 ** n)
+        assert coverage >= achievable
+        if coverage < confidence:  # degenerate case must be the full range
+            assert (l, u) == (1, n)
+
+    def test_interval_is_symmetric_in_order_statistics(self):
+        # The binomial is symmetric at p = 1/2, so u = n - l + 1.
+        for n in range(3, 40):
+            l, u = self._order_stats(n, 0.95)
+            assert u == n - l + 1
+
 
 class TestSummarize:
     def test_basic_fields(self):

@@ -85,6 +85,25 @@ class TestMain:
         assert (tmp_path / "tuned" / "selection_table.json").exists()
         assert "selected algorithm" in capsys.readouterr().out
 
+    def test_tune_jobs_and_cache_flags(self, capsys, tmp_path):
+        argv = [
+            "tune", "--nodes", "2", "--cores", "4",
+            "--collectives", "alltoall",
+            "--sizes", "64",
+            "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv + ["--out", str(tmp_path / "cold")]) == 0
+        cold_err = capsys.readouterr().err
+        assert "0% hit rate" in cold_err
+        # The warm re-run serves every cell from the cache and is identical.
+        assert main(argv + ["--out", str(tmp_path / "warm")]) == 0
+        warm_err = capsys.readouterr().err
+        assert "100% hit rate" in warm_err and "all served from cache" in warm_err
+        cold = (tmp_path / "cold" / "sweeps.json").read_bytes()
+        warm = (tmp_path / "warm" / "sweeps.json").read_bytes()
+        assert cold == warm
+
     def test_ext_subcommands_fast(self, capsys):
         assert main(["ext-nonblocking", "--nodes", "2", "--cores", "4",
                      "--fast"]) == 0
