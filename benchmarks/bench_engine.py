@@ -48,6 +48,44 @@ def bench_engine_tree_collective_throughput(benchmark):
     assert result.final_time > 0
 
 
+def bench_engine_alltoall_1024(benchmark):
+    """The scale ceiling: a 1024-rank linear Alltoall (~1M messages, ~1M-deep
+    event backlog).  One round — this is a seconds-scale single run that
+    exercises the O(1) matching, per-port event chains, and countdown waits
+    at full memory pressure."""
+    plat = Platform("t", nodes=128, cores_per_node=8)
+    p = plat.num_ranks
+    args = CollArgs(count=4, msg_bytes=1024.0)
+    inputs = [make_input("alltoall", r, p, 4) for r in range(p)]
+
+    def prog(ctx):
+        yield from run_collective(ctx, "alltoall", "basic_linear", args, inputs[ctx.rank])
+
+    def job():
+        return run_processes(plat, prog)
+
+    result = benchmark.pedantic(job, rounds=1, iterations=1)
+    assert result.events_processed > p * (p - 1)
+
+
+def bench_engine_bcast_1024(benchmark):
+    """A 1024-rank binomial broadcast — resume-dominated deep-tree scheduling
+    at scale (few messages per rank, long dependency chains)."""
+    plat = Platform("t", nodes=128, cores_per_node=8)
+    p = plat.num_ranks
+    args = CollArgs(count=4, msg_bytes=8.0)
+    inputs = [make_input("bcast", r, p, 4) for r in range(p)]
+
+    def prog(ctx):
+        yield from run_collective(ctx, "bcast", "binomial", args, inputs[ctx.rank])
+
+    def job():
+        return run_processes(plat, prog)
+
+    result = benchmark.pedantic(job, rounds=3, iterations=1)
+    assert result.final_time > 0
+
+
 def bench_clock_sync_cost(benchmark):
     """Full hierarchical clock sync on 32 ranks."""
     plat = Platform("t", nodes=8, cores_per_node=4)

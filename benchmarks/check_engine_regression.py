@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Soft-fail regression gate for the engine micro-benchmarks.
+
+Compares the medians of a fresh ``pytest-benchmark --benchmark-json`` run
+against the committed baseline (``BENCH_engine.json``) and emits a GitHub
+Actions ``::warning::`` annotation for every benchmark whose median regressed
+by more than the threshold (default 25%).  Always exits 0 — CI machines are
+noisy enough that a hard gate on wall-clock medians would flake; the warning
+makes the regression visible on the PR without blocking it.
+
+Usage::
+
+    python benchmarks/check_engine_regression.py fresh.json
+    python benchmarks/check_engine_regression.py --threshold 0.5 fresh.json
+    python benchmarks/check_engine_regression.py --update fresh.json  # rewrite baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+
+def load_medians(benchmark_json: Path) -> dict[str, float]:
+    """Extract {benchmark name: median seconds} from pytest-benchmark output."""
+    data = json.loads(benchmark_json.read_text())
+    return {b["name"]: float(b["stats"]["median"]) for b in data["benchmarks"]}
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> dict[str, float]:
+    return {k: float(v) for k, v in json.loads(path.read_text())["medians"].items()}
+
+
+def write_baseline(medians: dict[str, float], path: Path = BASELINE_PATH) -> None:
+    out = {
+        "_comment": (
+            "Median wall-clock seconds per engine benchmark (see "
+            "check_engine_regression.py). Regenerate with: python "
+            "benchmarks/check_engine_regression.py --update <pytest-benchmark json>"
+        ),
+        "medians": {k: round(v, 6) for k, v in sorted(medians.items())},
+    }
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+
+
+def compare(fresh: dict[str, float], baseline: dict[str, float],
+            threshold: float) -> list[str]:
+    """Return one warning line per benchmark regressed beyond ``threshold``."""
+    warnings = []
+    for name, base in sorted(baseline.items()):
+        if name not in fresh:
+            warnings.append(
+                f"::warning::engine benchmark '{name}' is in the baseline but "
+                f"was not run (renamed or removed? update BENCH_engine.json)"
+            )
+            continue
+        now = fresh[name]
+        if base > 0 and now > base * (1.0 + threshold):
+            warnings.append(
+                f"::warning::engine benchmark '{name}' median regressed "
+                f"{(now / base - 1.0) * 100:.0f}% "
+                f"({base * 1e3:.2f} ms -> {now * 1e3:.2f} ms, "
+                f"threshold {threshold * 100:.0f}%)"
+            )
+    return warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benchmark_json", type=Path,
+                        help="pytest-benchmark --benchmark-json output file")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional median slowdown (default 0.25)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    args = parser.parse_args(argv)
+
+    fresh = load_medians(args.benchmark_json)
+    if args.update:
+        write_baseline(fresh)
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    warnings = compare(fresh, load_baseline(), args.threshold)
+    for line in warnings:
+        print(line)
+    print(f"engine benchmarks checked: {len(fresh)} run, "
+          f"{len(warnings)} warning(s), threshold {args.threshold * 100:.0f}%")
+    # Soft gate: warnings annotate the run, they never fail it.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,10 @@ def _add_common(parser: argparse.ArgumentParser, machine_default: str = "hydra",
     parser.add_argument("--cache-dir", default=None, metavar="PATH",
                         help="content-addressed result cache; re-runs skip "
                         "already-simulated cells")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print aggregate engine statistics (events, match "
+                        "fast-path hits, events/s) to stderr when done; with "
+                        "--jobs > 1 only the parent process's runs are counted")
 
 
 def _config(args: argparse.Namespace, machine: str | None = None) -> ExperimentConfig:
@@ -75,8 +79,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     for fig, helptext, default_machine in (
         ("fig4", "simulation study: best algorithm per pattern/size", "simcluster"),
-        ("fig5", "runtimes under patterns, 5%-of-best classification", "hydra"),
-        ("fig6", "robustness heatmaps (+-25% classification)", "hydra"),
+        ("fig5", "runtimes under patterns, 5%%-of-best classification", "hydra"),
+        ("fig6", "robustness heatmaps (+-25%% classification)", "hydra"),
     ):
         p = sub.add_parser(fig, help=helptext)
         _add_common(p, machine_default=default_machine)
@@ -211,6 +215,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     command = args.command
     started = time.time()
+    engine_agg = None
+    if getattr(args, "verbose", False):
+        # Aggregates every in-process Engine.run; sweeps fanned out with
+        # --jobs > 1 run in worker interpreters and are not counted here.
+        from repro.sim.engine import enable_stats_aggregation
+
+        engine_agg = enable_stats_aggregation()
     if command == "table1":
         print(tables.table1())
     elif command == "table2":
@@ -319,6 +330,12 @@ def main(argv: list[str] | None = None) -> int:
         print(tables.table2())
     else:
         print(_run_one(command, args))
+    if engine_agg is not None:
+        from repro.sim.engine import disable_stats_aggregation
+
+        disable_stats_aggregation()
+        print(f"[engine: {engine_agg.runs} runs, {engine_agg.summary()}]",
+              file=sys.stderr)
     print(f"\n[{command} completed in {time.time() - started:.1f}s]", file=sys.stderr)
     return 0
 

@@ -43,13 +43,42 @@ ahead to its next blocking point, claiming port time for operations stamped
 processed yet.  Port bookkeeping is a max-chain, so this can only reorder
 grants within a few CPU-overhead periods (~1 µs) and never moves any event
 backwards in time.
+
+Hot-path design (what keeps 1024-rank O(p²) collectives tractable)
+------------------------------------------------------------------
+A p-rank linear alltoall holds ~p² requests, in-flight messages, and heap
+entries alive at once, so both per-message *work* and per-message *bytes*
+are on the critical path (at ~1M live messages the working set stops
+fitting in cache and every pointer chase slows down):
+
+* Exact-envelope receives match the unexpected-message queue with a single
+  dict lookup; only wildcard (:data:`ANY_SOURCE`/:data:`ANY_TAG`) receives
+  scan, and arriving messages probe the wildcard posted keys only while a
+  wildcard receive is actually live (``_Proc.wild_posted``).
+* Wait completion is countdown-based: each pending request carries
+  back-pointers to its waiting fibers, so completing one request is O(1)
+  instead of re-scanning the fiber's whole request list.
+* Heap entries are plain ``(time, seq, kind, a, b)`` tuples dispatched by
+  an integer jump in :meth:`Engine.run` — no per-event closure allocation.
+* The send :class:`Request` doubles as the wire message (no separate
+  message object), matching-queue dict values hold a bare request until a
+  second one collides (then a deque), and a request's ``waiters`` holds a
+  bare ``(fiber, epoch)`` entry until a second waiter registers.
+* The cyclic GC is paused for the duration of :meth:`Engine.run`: the
+  engine allocates millions of objects that die by refcount, and
+  generational scans over the live graph otherwise dominate large runs.
+
+:class:`EngineStats` counts all of this; it is surfaced on
+``RunResult.engine_stats`` and in the ``max_events`` error message.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 from collections import deque
-from typing import Any, Callable, Iterator
+from time import perf_counter
+from typing import Any, Iterator
 
 from repro.errors import DeadlockError, ProtocolError, SimulationError
 from repro.sim.network import NetworkModel
@@ -61,6 +90,125 @@ ANY_TAG = -1
 _SEND = 0
 _RECV = 1
 
+# Event kinds.  Heap entries are (time, seq, kind, a, b) tuples; the integer
+# kind is dispatched by a jump in Engine.run().  seq is unique, so heap
+# comparisons never reach the payload fields.
+_EV_START = 0    # a = fiber                   — first resume of a generator
+_EV_RESUME = 1   # a = fiber, b = send value   — resume a blocked fiber
+_EV_DELIVER = 2  # a = send req                — eager payload / RTS arrives
+_EV_RNDV = 3     # a = send req, b = recv req  — rendezvous data arrives
+
+
+class EngineStats:
+    """Counters describing one (or several merged) engine runs.
+
+    ``events_*`` split :attr:`events_total` by heap-event kind.  The match
+    counters separate the O(1) fast paths from the wildcard fallbacks:
+    ``match_fast``/``match_scan`` count unexpected-queue lookups by exact
+    vs. wildcard receives, ``posted_fast``/``posted_wild`` count arriving
+    messages probing one posted key vs. all four wildcard-candidate keys.
+    ``peak_heap`` is the peak number of outstanding scheduled events
+    (heap plus per-port event chains) — the in-flight-message high-water
+    mark of the run.
+    """
+
+    __slots__ = (
+        "events_start",
+        "events_resume",
+        "events_deliver",
+        "events_rendezvous",
+        "match_fast",
+        "match_scan",
+        "posted_fast",
+        "posted_wild",
+        "peak_heap",
+        "wall_seconds",
+        "runs",
+    )
+
+    def __init__(self) -> None:
+        self.events_start = 0
+        self.events_resume = 0
+        self.events_deliver = 0
+        self.events_rendezvous = 0
+        self.match_fast = 0
+        self.match_scan = 0
+        self.posted_fast = 0
+        self.posted_wild = 0
+        self.peak_heap = 0
+        self.wall_seconds = 0.0
+        self.runs = 0
+
+    @property
+    def events_total(self) -> int:
+        return (self.events_start + self.events_resume
+                + self.events_deliver + self.events_rendezvous)
+
+    @property
+    def events_per_sec(self) -> float:
+        """Wall-clock event throughput (0.0 before any timed run)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_total / self.wall_seconds
+
+    def merge(self, other: "EngineStats") -> None:
+        """Accumulate ``other`` into this instance (for cross-run aggregates)."""
+        self.events_start += other.events_start
+        self.events_resume += other.events_resume
+        self.events_deliver += other.events_deliver
+        self.events_rendezvous += other.events_rendezvous
+        self.match_fast += other.match_fast
+        self.match_scan += other.match_scan
+        self.posted_fast += other.posted_fast
+        self.posted_wild += other.posted_wild
+        self.peak_heap = max(self.peak_heap, other.peak_heap)
+        self.wall_seconds += other.wall_seconds
+        self.runs += other.runs
+
+    def to_dict(self) -> dict[str, float | int]:
+        d: dict[str, float | int] = {name: getattr(self, name) for name in self.__slots__}
+        d["events_total"] = self.events_total
+        d["events_per_sec"] = self.events_per_sec
+        return d
+
+    def summary(self) -> str:
+        """One-line human-readable digest (used in logs and error messages)."""
+        return (
+            f"{self.events_total} events"
+            f" (start {self.events_start}, resume {self.events_resume},"
+            f" deliver {self.events_deliver}, rndv {self.events_rendezvous}),"
+            f" match fast/scan {self.match_fast}/{self.match_scan},"
+            f" posted fast/wild {self.posted_fast}/{self.posted_wild},"
+            f" peak heap {self.peak_heap},"
+            f" {self.events_per_sec / 1e3:.0f}k events/s"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EngineStats {self.summary()}>"
+
+
+# Optional process-wide aggregation target (see enable_stats_aggregation).
+_aggregate: EngineStats | None = None
+
+
+def enable_stats_aggregation() -> EngineStats:
+    """Aggregate the stats of every subsequent in-process ``Engine.run``.
+
+    Returns the (initially zeroed) accumulator; each completed run merges
+    into it.  Used by ``repro-mpi --verbose`` to report engine totals for a
+    whole experiment.  Worker processes of a ``--jobs N`` fan-out aggregate
+    into their own interpreter, not the parent's.
+    """
+    global _aggregate
+    _aggregate = EngineStats()
+    return _aggregate
+
+
+def disable_stats_aggregation() -> None:
+    """Stop aggregating engine stats (drops the current accumulator)."""
+    global _aggregate
+    _aggregate = None
+
 
 class Request:
     """Handle for a pending non-blocking operation.
@@ -70,6 +218,17 @@ class Request:
     the sender attached no payload) once complete; ``source_rank`` and
     ``recv_tag`` record the matched envelope, which is what callers need when
     receiving with :data:`ANY_SOURCE` / :data:`ANY_TAG`.
+
+    A *send* request doubles as the engine's in-flight wire message (there
+    is no separate message class — at ~p² concurrent messages the second
+    object per message is measurable): ``payload`` carries the data,
+    ``eager`` the protocol, and ``arrival`` the wire-arrival timestamp of
+    the data (eager) or the RTS (rendezvous).
+
+    ``waiters`` holds the ``(fiber, epoch)`` back-pointers registered when a
+    fiber blocks on this request — a bare entry tuple for the common single
+    waiter, a list of entries otherwise.  Completion wakes exactly those
+    fibers (countdown waits) instead of re-scanning their request lists.
     """
 
     __slots__ = (
@@ -83,6 +242,10 @@ class Request:
         "source_rank",
         "recv_tag",
         "post_time",
+        "waiters",
+        "eager",
+        "arrival",
+        "tx_time",
     )
 
     def __init__(self, kind: int, owner: int, peer: int, tag: int, nbytes: int) -> None:
@@ -96,6 +259,13 @@ class Request:
         self.source_rank: int | None = None
         self.recv_tag: int | None = None
         self.post_time: float = 0.0
+        self.waiters: Any = None
+        self.eager = True
+        self.arrival = 0.0
+        # Port occupancy of this message (send requests only): the sender
+        # computes it once and the receiver's extraction port reuses it —
+        # transmission time is symmetric along a path.
+        self.tx_time = 0.0
 
     @property
     def done(self) -> bool:
@@ -107,32 +277,6 @@ class Request:
         return f"<Request {kind} owner={self.owner} peer={self.peer} tag={self.tag} {state}>"
 
 
-class _Message:
-    """An in-flight message (eager data or rendezvous RTS)."""
-
-    __slots__ = ("src", "dst", "tag", "nbytes", "payload", "send_req", "eager", "arrival")
-
-    def __init__(
-        self,
-        src: int,
-        dst: int,
-        tag: int,
-        nbytes: int,
-        payload: Any,
-        send_req: Request,
-        eager: bool,
-        arrival: float,
-    ) -> None:
-        self.src = src
-        self.dst = dst
-        self.tag = tag
-        self.nbytes = nbytes
-        self.payload = payload
-        self.send_req = send_req
-        self.eager = eager
-        self.arrival = arrival
-
-
 class _Fiber:
     """One execution strand of a simulated process.
 
@@ -142,8 +286,14 @@ class _Fiber:
     state; fibers of one rank share the rank's ports and message queues.
 
     A finished fiber is itself waitable: it exposes the same
-    ``kind``/``owner``/``done``/``complete_time`` surface as a
+    ``kind``/``owner``/``done``/``complete_time``/``waiters`` surface as a
     :class:`Request`, so ``yield ctx.waitall(fiber)`` joins it.
+
+    Wait bookkeeping: blocking bumps ``wait_epoch`` and registers
+    ``(self, epoch)`` with each pending request; ``wait_pending`` counts the
+    outstanding registrations and ``wait_deadline`` tracks the running max
+    of their completion times, so the final completion resumes the fiber
+    without re-scanning ``waiting``.
     """
 
     __slots__ = (
@@ -158,6 +308,10 @@ class _Fiber:
         "complete_time",
         "kind",
         "owner",
+        "waiters",
+        "wait_epoch",
+        "wait_pending",
+        "wait_deadline",
     )
 
     def __init__(self, proc: "_Proc", gen: Iterator[Any] | None, now: float) -> None:
@@ -176,6 +330,10 @@ class _Fiber:
         self.complete_time: float | None = None
         self.kind = _SEND  # joining is never a "foreign recv"
         self.owner = proc.rank
+        self.waiters: Any = None
+        self.wait_epoch = 0
+        self.wait_pending = 0
+        self.wait_deadline = 0.0
 
     @property
     def rank(self) -> int:
@@ -183,7 +341,15 @@ class _Fiber:
 
 
 class _Proc:
-    """Engine-internal rank-level state (ports, queues, fibers)."""
+    """Engine-internal rank-level state (ports, queues, fibers).
+
+    The matching dicts map ``(src, tag)`` to *either* a single entry (the
+    overwhelmingly common case — one pending item per envelope) *or* a
+    deque of entries once a second one collides.  Keys are removed as soon
+    as their last entry is taken, so dict size tracks live entries even
+    across long multi-collective programs, and the wildcard scan never
+    visits dead keys.
+    """
 
     __slots__ = (
         "rank",
@@ -192,6 +358,7 @@ class _Proc:
         "rx_free",
         "unexpected",
         "posted",
+        "wild_posted",
     )
 
     def __init__(self, rank: int) -> None:
@@ -199,10 +366,13 @@ class _Proc:
         self.fibers: list[_Fiber] = [_Fiber(self, None, 0.0)]
         self.tx_free = 0.0
         self.rx_free = 0.0
-        # (src, tag) -> deque of arrived-but-unmatched messages.
-        self.unexpected: dict[tuple[int, int], deque[_Message]] = {}
-        # (src, tag) -> deque of posted-but-unmatched recv requests.
-        self.posted: dict[tuple[int, int], deque[Request]] = {}
+        # (src, tag) -> arrived-but-unmatched send request, or deque thereof.
+        self.unexpected: dict[tuple[int, int], Any] = {}
+        # (src, tag) -> posted-but-unmatched recv request, or deque thereof.
+        self.posted: dict[tuple[int, int], Any] = {}
+        # Number of live posted receives whose key contains a wildcard;
+        # while zero, arriving messages probe only their exact key.
+        self.wild_posted = 0
 
     @property
     def main(self) -> _Fiber:
@@ -243,22 +413,67 @@ class Engine:
         self.network = network
         self.max_events = max_events
         self.procs = [_Proc(rank) for rank in range(num_procs)]
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, int, Any, Any, Any]] = []
         self._seq = 0
         self._events_processed = 0
+        self._outstanding = 0
         self.now = 0.0
+        self.stats = EngineStats()
+        # Per-port event chains: deliveries leaving one injection port with
+        # one wire latency are scheduled in non-decreasing (time, seq) order
+        # (port grants max-chain forward), so they live in a FIFO bucket with
+        # only the head in the heap.  This keeps the heap at O(ports) instead
+        # of O(messages-in-flight) — the difference between log2(~2k) and
+        # log2(~1M) comparisons per pop in a 1024-rank linear alltoall.
+        self._chains: dict[Any, deque] = {}
         # Shared per-node NIC ports for inter-node traffic (see NetworkModel).
         self._node_tx_free = [0.0] * network.num_nodes
         self._node_rx_free = [0.0] * network.num_nodes
         self._node_of = network.node_of
+        self._group_of = network.group_of
 
     # ------------------------------------------------------------------ #
     # Event plumbing
     # ------------------------------------------------------------------ #
 
-    def _schedule(self, time: float, action: Callable[[], None]) -> None:
+    def _schedule(self, time: float, kind: int, a: Any, b: Any = None) -> None:
+        """Push an event directly onto the heap (resumes, starts, fallbacks)."""
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, action))
+        heapq.heappush(self._heap, (time, self._seq, kind, a, b, None))
+        out = self._outstanding + 1
+        self._outstanding = out
+        if out > self.stats.peak_heap:
+            self.stats.peak_heap = out
+
+    def _schedule_chained(self, key: Any, time: float, kind: int, a: Any,
+                          b: Any = None) -> None:
+        """Schedule an event on the sorted FIFO chain identified by ``key``.
+
+        Only the chain head sits in the heap; :meth:`run` promotes the next
+        entry when it pops the head.  Each chain must stay sorted — an entry
+        that would land out of order (e.g. a sibling fiber with an earlier
+        clock reusing a port chain) bypasses the chain and goes straight to
+        the heap, which is always correct: pop order only requires that every
+        chain's minimum is heap-visible.
+        """
+        chains = self._chains
+        bucket = chains.get(key)
+        if bucket is None:
+            chains[key] = bucket = deque()
+        self._seq += 1
+        if bucket:
+            if time >= bucket[-1][0]:
+                bucket.append((time, self._seq, kind, a, b, bucket))
+            else:
+                heapq.heappush(self._heap, (time, self._seq, kind, a, b, None))
+        else:
+            entry = (time, self._seq, kind, a, b, bucket)
+            bucket.append(entry)
+            heapq.heappush(self._heap, entry)
+        out = self._outstanding + 1
+        self._outstanding = out
+        if out > self.stats.peak_heap:
+            self.stats.peak_heap = out
 
     def set_process(self, rank: int, gen: Iterator[Any]) -> None:
         """Install the generator driving rank ``rank`` and schedule its start."""
@@ -267,7 +482,7 @@ class Engine:
         if main.gen is not None:
             raise ProtocolError(f"process {rank} already has a generator")
         main.gen = gen
-        self._schedule(main.now, lambda f=main: self._resume(f, first=True))
+        self._schedule(main.now, _EV_START, main)
 
     def spawn_fiber(self, rank: int, gen: Iterator[Any] | None,
                     start_time: float) -> _Fiber:
@@ -282,7 +497,7 @@ class Engine:
         proc = self.procs[rank]
         fiber = _Fiber(proc, gen, start_time)
         proc.fibers.append(fiber)
-        self._schedule(start_time, lambda f=fiber: self._resume(f, first=True))
+        self._schedule(start_time, _EV_START, fiber)
         return fiber
 
     def run(self) -> float:
@@ -294,17 +509,66 @@ class Engine:
         for proc in self.procs:
             if proc.main.gen is None:
                 raise ProtocolError(f"process {proc.rank} has no generator installed")
-        while self._heap:
-            time, _seq, action = heapq.heappop(self._heap)
-            if time < self.now - 1e-15:
-                raise SimulationError(
-                    f"causality violation: event at {time} before clock {self.now}"
-                )
-            self.now = max(self.now, time)
-            self._events_processed += 1
-            if self._events_processed > self.max_events:
-                raise SimulationError(f"exceeded max_events={self.max_events}")
-            action()
+        stats = self.stats
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        max_events = self.max_events
+        events = self._events_processed
+        n_start = n_resume = n_deliver = n_rndv = 0
+        # Pause the cyclic GC: nearly everything allocated here dies by
+        # refcount, and generational scans over millions of live requests
+        # and heap entries otherwise dominate large runs.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        started = perf_counter()
+        try:
+            while heap:
+                time, _seq, kind, a, b, bucket = pop(heap)
+                if bucket is not None:
+                    # Popped a chain head: promote the chain's next entry.
+                    bucket.popleft()
+                    if bucket:
+                        push(heap, bucket[0])
+                self._outstanding -= 1
+                if time < self.now - 1e-15:
+                    raise SimulationError(
+                        f"causality violation: event at {time} before clock {self.now}"
+                    )
+                if time > self.now:
+                    self.now = time
+                events += 1
+                if events > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} [{stats.summary()}]"
+                    )
+                if kind == _EV_RESUME:
+                    n_resume += 1
+                    self._resume(a, b)
+                elif kind == _EV_DELIVER:
+                    n_deliver += 1
+                    self._deliver(a)
+                elif kind == _EV_RNDV:
+                    n_rndv += 1
+                    proc = self.procs[a.peer]
+                    delivered = self._extract(proc, time, a.nbytes, a.owner)
+                    self._finish_recv(proc, b, a, delivered)
+                else:  # _EV_START
+                    n_start += 1
+                    self._resume(a, first=True)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            self._events_processed = events
+            stats.events_start += n_start
+            stats.events_resume += n_resume
+            stats.events_deliver += n_deliver
+            stats.events_rendezvous += n_rndv
+            stats.wall_seconds += perf_counter() - started
+            stats.runs += 1
+            if _aggregate is not None:
+                _aggregate.merge(stats)
         blocked = [p.rank for p in self.procs if not p.done]
         if blocked:
             raise DeadlockError(blocked)
@@ -328,7 +592,7 @@ class Engine:
             fiber.result = stop.value
             fiber.complete_time = fiber.now
             # Joiners (other fibers of this rank) may be waiting on us.
-            self._check_wait_done(fiber.proc)
+            self._notify_waiters(fiber)
             return
         self._apply_condition(fiber, condition)
 
@@ -339,7 +603,7 @@ class Engine:
             raise ProtocolError(
                 f"process {fiber.rank} yielded invalid condition {condition!r}"
             ) from None
-        if kind in ("wait", "wait_any"):
+        if kind == "wait" or kind == "wait_any":
             requests: list[Request] = condition[1]
             any_mode = kind == "wait_any"
             for req in requests:
@@ -349,70 +613,151 @@ class Engine:
                     )
             if any_mode:
                 done_times = [
-                    (r.complete_time, i) for i, r in enumerate(requests) if r.done
+                    (r.complete_time, i) for i, r in enumerate(requests)
+                    if r.complete_time is not None
                 ]
                 if done_times:
                     when, index = min(done_times)
                     resume_at = max(fiber.now, when)
                     fiber.now = resume_at
-                    self._schedule(resume_at, lambda f=fiber, i=index: self._resume(f, i))
+                    self._schedule(resume_at, _EV_RESUME, fiber, index)
                 else:
-                    fiber.waiting = requests
-                    fiber.wait_any = True
-                    fiber.blocked = True
+                    self._block(fiber, requests, any_mode=True)
                 return
-            pending = [r for r in requests if not r.done]
-            if not pending:
-                resume_at = max([fiber.now] + [r.complete_time for r in requests])  # type: ignore[list-item]
-                fiber.now = resume_at
-                self._schedule(resume_at, lambda f=fiber: self._resume(f))
-            else:
-                fiber.waiting = requests
-                fiber.wait_any = False
-                fiber.blocked = True
+            if self._block(fiber, requests, any_mode=False):
+                return
+            # Every request already complete: resume after the latest one.
+            resume_at = fiber.wait_deadline
+            fiber.now = resume_at
+            self._schedule(resume_at, _EV_RESUME, fiber, None)
         elif kind == "sleep":
             dt = condition[1]
             if dt < 0:
                 raise ProtocolError(f"process {fiber.rank} slept for negative time {dt}")
             fiber.now += dt
-            self._schedule(fiber.now, lambda f=fiber: self._resume(f))
+            self._schedule(fiber.now, _EV_RESUME, fiber, None)
         elif kind == "until":
             target = condition[1]
-            fiber.now = max(fiber.now, target)
-            self._schedule(fiber.now, lambda f=fiber: self._resume(f))
+            if target > fiber.now:
+                fiber.now = target
+            self._schedule(fiber.now, _EV_RESUME, fiber, None)
         else:
             raise ProtocolError(
                 f"process {fiber.rank} yielded unknown condition {condition!r}"
             )
 
-    def _check_wait_done(self, proc: _Proc) -> None:
-        """Schedule resumes for any fiber whose blocking condition is satisfied."""
-        for fiber in proc.fibers:
-            if not fiber.blocked or fiber.waiting is None:
+    def _block(self, fiber: _Fiber, requests: list[Request], any_mode: bool) -> bool:
+        """Register ``fiber`` as a waiter on every pending request.
+
+        Returns True if the fiber actually blocked.  For ``waitall`` with no
+        pending requests it returns False, leaving ``fiber.wait_deadline`` at
+        the resume time (max of ``fiber.now`` and all completion times).
+        A request listed twice registers twice *and* counts twice, so the
+        countdown stays consistent for duplicates.
+        """
+        fiber.wait_epoch += 1
+        entry = (fiber, fiber.wait_epoch)
+        if any_mode:
+            # Caller guarantees no request is complete yet.
+            for r in requests:
+                w = r.waiters
+                if w is None:
+                    r.waiters = entry
+                elif type(w) is list:
+                    w.append(entry)
+                else:
+                    r.waiters = [w, entry]
+            fiber.waiting = requests
+            fiber.wait_any = True
+            fiber.blocked = True
+            return True
+        pending = 0
+        deadline = fiber.now
+        for r in requests:
+            ct = r.complete_time
+            if ct is not None:
+                if ct > deadline:
+                    deadline = ct
                 continue
+            pending += 1
+            w = r.waiters
+            if w is None:
+                r.waiters = entry
+            elif type(w) is list:
+                w.append(entry)
+            else:
+                r.waiters = [w, entry]
+        fiber.wait_deadline = deadline
+        if pending == 0:
+            return False
+        fiber.wait_pending = pending
+        fiber.waiting = requests
+        fiber.wait_any = False
+        fiber.blocked = True
+        return True
+
+    def _notify_waiters(self, req: Request | _Fiber) -> None:
+        """A request (or fiber handle) completed: wake its registered waiters.
+
+        Countdown completion — O(1) per (request, waiter) pair.  Stale
+        registrations (the fiber has since resumed and re-blocked) are
+        filtered by the epoch check in :meth:`_wake`.
+        """
+        w = req.waiters
+        if w is None:
+            return
+        req.waiters = None
+        if type(w) is tuple:  # single (fiber, epoch) entry — the common case
+            fiber = w[0]
+            if w[1] != fiber.wait_epoch or not fiber.blocked:
+                return  # stale registration from an earlier wait
             if fiber.wait_any:
-                done_times = [
-                    (r.complete_time, i) for i, r in enumerate(fiber.waiting) if r.done
-                ]
-                if done_times:
-                    when, index = min(done_times)
-                    resume_at = max(fiber.now, when)
-                    fiber.waiting = None
-                    fiber.wait_any = False
-                    fiber.blocked = False
-                    fiber.now = resume_at
-                    self._schedule(
-                        resume_at, lambda f=fiber, i=index: self._resume(f, i)
-                    )
-                continue
-            if all(r.done for r in fiber.waiting):
-                resume_at = max(
-                    [fiber.now] + [r.complete_time for r in fiber.waiting]  # type: ignore[list-item]
-                )
+                self._wake(fiber, w[1], req)
+                return
+            # Inlined countdown step: this is once-per-message in collectives.
+            ct = req.complete_time
+            if ct > fiber.wait_deadline:
+                fiber.wait_deadline = ct
+            pending = fiber.wait_pending - 1
+            fiber.wait_pending = pending
+            if pending == 0:
+                resume_at = fiber.wait_deadline
                 fiber.waiting = None
                 fiber.blocked = False
                 fiber.now = resume_at
-                self._schedule(resume_at, lambda f=fiber: self._resume(f))
+                self._schedule(resume_at, _EV_RESUME, fiber, None)
+        else:
+            for fiber, epoch in w:
+                self._wake(fiber, epoch, req)
+
+    def _wake(self, fiber: _Fiber, epoch: int, req: Request | _Fiber) -> None:
+        if epoch != fiber.wait_epoch or not fiber.blocked:
+            return  # stale registration from an earlier wait
+        if fiber.wait_any:
+            # First completion for this wait: pick the earliest-completed
+            # index (scans once; duplicates resolve to the lowest index).
+            done_times = [
+                (r.complete_time, i) for i, r in enumerate(fiber.waiting)
+                if r.complete_time is not None
+            ]
+            when, index = min(done_times)
+            resume_at = fiber.now if fiber.now > when else when
+            fiber.waiting = None
+            fiber.wait_any = False
+            fiber.blocked = False
+            fiber.now = resume_at
+            self._schedule(resume_at, _EV_RESUME, fiber, index)
+        else:
+            ct = req.complete_time
+            if ct > fiber.wait_deadline:
+                fiber.wait_deadline = ct
+            fiber.wait_pending -= 1
+            if fiber.wait_pending == 0:
+                resume_at = fiber.wait_deadline
+                fiber.waiting = None
+                fiber.blocked = False
+                fiber.now = resume_at
+                self._schedule(resume_at, _EV_RESUME, fiber, None)
 
     # ------------------------------------------------------------------ #
     # Point-to-point messaging
@@ -436,22 +781,83 @@ class Engine:
         if tag < 0:
             raise ProtocolError(f"isend with negative tag {tag} (reserved for wildcards)")
         proc = self.procs[src]
-        fib = fiber if fiber is not None else proc.main
+        fib = fiber if fiber is not None else proc.fibers[0]
         net = self.network
-        req = Request(_SEND, src, dst, tag, nbytes)
+        # Built field-by-field (not via __init__): two requests per message
+        # make the constructor call overhead itself measurable at scale.
+        req = Request.__new__(Request)
+        req.kind = _SEND
+        req.owner = src
+        req.peer = dst
+        req.tag = tag
+        req.nbytes = nbytes
+        req.payload = payload
+        req.source_rank = None
+        req.recv_tag = None
+        req.waiters = None
         req.post_time = fib.now
         fib.now += net.send_overhead
-        if net.is_eager(nbytes) and not sync:
-            tx_end = self._claim_tx(proc, dst, fib.now, nbytes)
+        if nbytes <= net.eager_max and not sync:
+            # Inlined cost model + injection-port claim.  The link class
+            # (self / intra / inter / group) picks latency and bandwidth; the
+            # port is the node NIC for inter-node traffic under shared-NIC
+            # modelling, the rank's private port otherwise.  Chain key =
+            # port index and class packed into one int (no tuple per send).
+            node_of = self._node_of
+            src_node = node_of[src]
+            ready = fib.now
+            if src_node == node_of[dst]:
+                if src == dst:
+                    lat = 0.0
+                    tx_time = 0.0
+                    ckey = src << 2
+                else:
+                    lat = net.intra_lat
+                    tx_time = nbytes * net.intra_inv_bw
+                    ckey = (src << 2) | 1
+                start = proc.tx_free
+                if ready > start:
+                    start = ready
+                tx_end = start + tx_time
+                proc.tx_free = tx_end
+            else:
+                group_of = self._group_of
+                if group_of[src] == group_of[dst]:
+                    lat = net.inter_lat
+                    tx_time = nbytes * net.inter_inv_bw
+                    cls = 2
+                else:
+                    lat = net.group_lat
+                    tx_time = nbytes * net.group_inv_bw
+                    cls = 3
+                if net.shared_node_nic:
+                    free = self._node_tx_free
+                    start = free[src_node]
+                    if ready > start:
+                        start = ready
+                    tx_end = start + tx_time
+                    free[src_node] = tx_end
+                    ckey = ((self.num_procs + src_node) << 2) | cls
+                else:
+                    start = proc.tx_free
+                    if ready > start:
+                        start = ready
+                    tx_end = start + tx_time
+                    proc.tx_free = tx_end
+                    ckey = (src << 2) | cls
+            req.eager = True
+            req.tx_time = tx_time
             req.complete_time = tx_end
-            arrival = tx_end + net.latency(src, dst)
-            msg = _Message(src, dst, tag, nbytes, payload, req, True, arrival)
-            self._schedule(arrival, lambda m=msg: self._deliver(m))
+            req.arrival = arrival = tx_end + lat
+            self._schedule_chained(ckey, arrival, _EV_DELIVER, req)
         else:
             # Rendezvous: the RTS travels now; data moves once matched.
-            rts_arrival = fib.now + net.latency(src, dst)
-            msg = _Message(src, dst, tag, nbytes, payload, req, False, rts_arrival)
-            self._schedule(rts_arrival, lambda m=msg: self._deliver(m))
+            lat = net.latency(src, dst)
+            req.eager = False
+            req.tx_time = 0.0
+            req.complete_time = None
+            req.arrival = arrival = fib.now + lat
+            self._schedule_chained(("rts", src, lat), arrival, _EV_DELIVER, req)
         return req
 
     def post_irecv(self, dst: int, src: int, tag: int, nbytes: int = 0,
@@ -462,87 +868,204 @@ class Engine:
         """
         if src != ANY_SOURCE and not (0 <= src < self.num_procs):
             raise ProtocolError(f"irecv from invalid rank {src}")
+        if tag != ANY_TAG and tag < 0:
+            raise ProtocolError(f"irecv with negative tag {tag} (use ANY_TAG to wildcard)")
+        if nbytes < 0:
+            raise ProtocolError(f"irecv with negative size {nbytes}")
         proc = self.procs[dst]
-        fib = fiber if fiber is not None else proc.main
-        req = Request(_RECV, dst, src, tag, nbytes)
+        fib = fiber if fiber is not None else proc.fibers[0]
+        req = Request.__new__(Request)
+        req.kind = _RECV
+        req.owner = dst
+        req.peer = src
+        req.tag = tag
+        req.nbytes = nbytes
+        req.complete_time = None
+        req.payload = None
+        req.source_rank = None
+        req.recv_tag = None
+        req.waiters = None
+        req.eager = True
+        req.arrival = 0.0
         req.post_time = fib.now
         fib.now += self.network.recv_overhead
-        msg = self._match_unexpected(proc, src, tag)
+        key = (src, tag)
+        if src != ANY_SOURCE and tag != ANY_TAG:
+            # Exact envelope: one dict probe against the unexpected queue.
+            self.stats.match_fast += 1
+            unexpected = proc.unexpected
+            cur = unexpected.get(key)
+            if cur is None:
+                msg = None
+            elif type(cur) is deque:
+                msg = cur.popleft()
+                if not cur:
+                    del unexpected[key]
+            else:
+                msg = cur
+                del unexpected[key]
+        else:
+            msg = self._match_unexpected_wild(proc, src, tag)
         if msg is not None:
             self._complete_match(proc, req, msg)
         else:
-            proc.posted.setdefault((src, tag), deque()).append(req)
+            posted = proc.posted
+            cur = posted.get(key)
+            if cur is None:
+                posted[key] = req
+            elif type(cur) is deque:
+                cur.append(req)
+            else:
+                posted[key] = deque((cur, req))
+            if src == ANY_SOURCE or tag == ANY_TAG:
+                proc.wild_posted += 1
         return req
 
     # -- matching ------------------------------------------------------- #
 
-    def _match_unexpected(self, proc: _Proc, src: int, tag: int) -> _Message | None:
-        """Find the earliest-arrived unexpected message matching (src, tag)."""
+    @staticmethod
+    def _queue_pop(table: dict, key: tuple[int, int], cur: Any) -> Any:
+        """Take the head entry for ``key`` (a bare entry or a deque head),
+        pruning the key as soon as it empties."""
+        if type(cur) is deque:
+            head = cur.popleft()
+            if not cur:
+                del table[key]
+            return head
+        del table[key]
+        return cur
+
+    def _match_unexpected_wild(self, proc: _Proc, src: int, tag: int) -> Request | None:
+        """Scan the unexpected queues for a wildcard receive: the
+        earliest-*arrived* matching message wins.  Exact envelopes never get
+        here — they resolve with one dict probe in :meth:`post_irecv`
+        (messages always carry concrete envelopes, so an exact receive can
+        match exactly one key)."""
+        self.stats.match_scan += 1
+        unexpected = proc.unexpected
         candidates: list[tuple[float, tuple[int, int]]] = []
-        for (msrc, mtag), queue in proc.unexpected.items():
-            if not queue:
-                continue
+        for (msrc, mtag), cur in unexpected.items():
             if (src == ANY_SOURCE or msrc == src) and (tag == ANY_TAG or mtag == tag):
-                candidates.append((queue[0].arrival, (msrc, mtag)))
+                head = cur[0] if type(cur) is deque else cur
+                candidates.append((head.arrival, (msrc, mtag)))
         if not candidates:
             return None
         _, key = min(candidates)
-        return proc.unexpected[key].popleft()
+        return self._queue_pop(unexpected, key, unexpected[key])
 
-    def _match_posted(self, proc: _Proc, msg: _Message) -> Request | None:
-        """Find the earliest-posted receive matching an arriving message."""
+    def _match_posted_wild(self, proc: _Proc, msg: Request) -> Request | None:
+        """Match an arriving message while wildcard receives are live
+        (``wild_posted > 0``): all four candidate keys are probed and the
+        earliest post wins (ties break toward the wildcard key, whose tuple
+        sorts first — deterministic either way)."""
+        self.stats.posted_wild += 1
+        posted = proc.posted
         candidates: list[tuple[float, tuple[int, int]]] = []
         for key in (
-            (msg.src, msg.tag),
+            (msg.owner, msg.tag),
             (ANY_SOURCE, msg.tag),
-            (msg.src, ANY_TAG),
+            (msg.owner, ANY_TAG),
             (ANY_SOURCE, ANY_TAG),
         ):
-            queue = proc.posted.get(key)
-            if queue:
-                candidates.append((queue[0].post_time, key))
+            cur = posted.get(key)
+            if cur is not None:
+                head = cur[0] if type(cur) is deque else cur
+                candidates.append((head.post_time, key))
         if not candidates:
             return None
         _, key = min(candidates)
-        return proc.posted[key].popleft()
+        req = self._queue_pop(posted, key, posted[key])
+        if key[0] == ANY_SOURCE or key[1] == ANY_TAG:
+            proc.wild_posted -= 1
+        return req
 
-    def _deliver(self, msg: _Message) -> None:
-        """Handle arrival of an eager payload or a rendezvous RTS at the receiver."""
-        proc = self.procs[msg.dst]
-        recv_req = self._match_posted(proc, msg)
+    def _deliver(self, msg: Request) -> None:
+        """Handle arrival of an eager payload or a rendezvous RTS at the
+        receiver.  The exact-envelope eager case — essentially every message
+        of a collective — runs fully inlined: one posted-queue probe,
+        extraction-port claim, receive completion, waiter notification."""
+        proc = self.procs[msg.peer]
+        if not proc.wild_posted:
+            self.stats.posted_fast += 1
+            key = (msg.owner, msg.tag)
+            posted = proc.posted
+            cur = posted.get(key)
+            if cur is None:
+                recv_req = None
+            elif type(cur) is deque:
+                recv_req = cur.popleft()
+                if not cur:
+                    del posted[key]
+            else:
+                recv_req = cur
+                del posted[key]
+        else:
+            recv_req = self._match_posted_wild(proc, msg)
         if recv_req is None:
-            proc.unexpected.setdefault((msg.src, msg.tag), deque()).append(msg)
+            key = (msg.owner, msg.tag)
+            unexpected = proc.unexpected
+            cur = unexpected.get(key)
+            if cur is None:
+                unexpected[key] = msg
+            elif type(cur) is deque:
+                cur.append(msg)
+            else:
+                unexpected[key] = deque((cur, msg))
+        elif msg.eager:
+            ready = recv_req.post_time
+            if msg.arrival > ready:
+                ready = msg.arrival
+            # Inlined extraction-port claim; the sender already computed the
+            # (symmetric) port occupancy in msg.tx_time.
+            net = self.network
+            if net.rx_serialization:
+                node_of = self._node_of
+                dst_node = node_of[msg.peer]
+                if net.shared_node_nic and node_of[msg.owner] != dst_node:
+                    free = self._node_rx_free
+                    start = free[dst_node]
+                    if ready > start:
+                        start = ready
+                    ready = start + msg.tx_time
+                    free[dst_node] = ready
+                else:
+                    start = proc.rx_free
+                    if ready > start:
+                        start = ready
+                    ready = start + msg.tx_time
+                    proc.rx_free = ready
+            recv_req.complete_time = ready
+            recv_req.payload = msg.payload
+            recv_req.source_rank = msg.owner
+            recv_req.recv_tag = msg.tag
+            self._notify_waiters(recv_req)
         else:
             self._complete_match(proc, recv_req, msg)
 
-    def _complete_match(self, proc: _Proc, recv_req: Request, msg: _Message) -> None:
+    def _complete_match(self, proc: _Proc, recv_req: Request, msg: Request) -> None:
         """A send and a receive have met; finish the transfer."""
         net = self.network
         if msg.eager:
             ready = max(recv_req.post_time, msg.arrival)
-            delivered = self._extract(proc, ready, msg.nbytes, msg.src)
+            delivered = self._extract(proc, ready, msg.nbytes, msg.owner)
             self._finish_recv(proc, recv_req, msg, delivered)
         else:
             # Rendezvous handshake: CTS back to the sender, then the data.
+            src, dst = msg.owner, msg.peer
             handshake_done = max(recv_req.post_time, msg.arrival)
-            cts_arrival = handshake_done + net.latency(msg.dst, msg.src)
-            sender = self.procs[msg.src]
-            tx_end = self._claim_tx(sender, msg.dst, cts_arrival, msg.nbytes)
-            send_req = msg.send_req
-            send_req.complete_time = tx_end
-            self._check_wait_done(sender)
-            arrival = tx_end + net.latency(msg.src, msg.dst)
+            cts_arrival = handshake_done + net.latency(dst, src)
+            tx_end, port = self._claim_tx(self.procs[src], dst, cts_arrival, msg.nbytes)
+            msg.complete_time = tx_end
+            self._notify_waiters(msg)
+            lat = net.latency(src, dst)
+            self._schedule_chained((port, lat), tx_end + lat, _EV_RNDV, msg, recv_req)
 
-            def _arrive(m: _Message = msg, r: Request = recv_req, t: float = arrival) -> None:
-                p = self.procs[m.dst]
-                delivered = self._extract(p, t, m.nbytes, m.src)
-                self._finish_recv(p, r, m, delivered)
-
-            self._schedule(arrival, _arrive)
-
-    def _claim_tx(self, proc: _Proc, dst: int, ready: float, nbytes: int) -> float:
+    def _claim_tx(self, proc: _Proc, dst: int, ready: float,
+                  nbytes: int) -> tuple[float, int]:
         """Claim injection-port time: the node NIC for inter-node messages
-        (when shared-NIC modelling is on), the rank's private port otherwise."""
+        (when shared-NIC modelling is on), the rank's private port otherwise.
+        Returns ``(grant_end, port_index)``; the port index keys the delivery
+        event chain (node ports follow the rank ports in the index space)."""
         net = self.network
         tx_time = net.transmission_time(proc.rank, dst, nbytes)
         src_node = self._node_of[proc.rank]
@@ -550,11 +1073,11 @@ class Engine:
             start = max(ready, self._node_tx_free[src_node])
             end = start + tx_time
             self._node_tx_free[src_node] = end
-        else:
-            start = max(ready, proc.tx_free)
-            end = start + tx_time
-            proc.tx_free = end
-        return end
+            return end, self.num_procs + src_node
+        start = max(ready, proc.tx_free)
+        end = start + tx_time
+        proc.tx_free = end
+        return end, proc.rank
 
     def _extract(self, proc: _Proc, ready: float, nbytes: int, src: int) -> float:
         """Serialize the message through the receiver's extraction port."""
@@ -573,12 +1096,12 @@ class Engine:
             proc.rx_free = delivered
         return delivered
 
-    def _finish_recv(self, proc: _Proc, recv_req: Request, msg: _Message, when: float) -> None:
+    def _finish_recv(self, proc: _Proc, recv_req: Request, msg: Request, when: float) -> None:
         recv_req.complete_time = when
         recv_req.payload = msg.payload
-        recv_req.source_rank = msg.src
+        recv_req.source_rank = msg.owner
         recv_req.recv_tag = msg.tag
-        self._check_wait_done(proc)
+        self._notify_waiters(recv_req)
 
     # ------------------------------------------------------------------ #
     # Introspection

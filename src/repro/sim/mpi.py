@@ -29,7 +29,7 @@ from typing import Any, Callable, Generator, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.errors import ProtocolError
-from repro.sim.engine import ANY_SOURCE, ANY_TAG, Engine, Request
+from repro.sim.engine import ANY_SOURCE, ANY_TAG, Engine, EngineStats, Request
 from repro.sim.network import NetworkModel, NetworkParams
 from repro.sim.noise import NoiseModel
 from repro.sim.platform import Platform
@@ -219,12 +219,18 @@ class ProcContext:
 
 @dataclass
 class RunResult:
-    """Outcome of a completed simulation job."""
+    """Outcome of a completed simulation job.
+
+    ``engine_stats`` carries the engine's hot-path counters (events by kind,
+    match fast/slow-path hits, peak heap size, wall-clock events/s); see
+    :class:`repro.sim.engine.EngineStats`.
+    """
 
     final_time: float
     rank_times: list[float]
     rank_results: list[Any]
     events_processed: int
+    engine_stats: EngineStats | None = None
 
 
 ProcessFn = Callable[[ProcContext], Iterator[tuple]]
@@ -270,12 +276,14 @@ def run_processes(
         rank_times=[p.now for p in engine.procs],
         rank_results=[p.result for p in engine.procs],
         events_processed=engine.events_processed,
+        engine_stats=engine.stats,
     )
 
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "EngineStats",
     "ProcContext",
     "RunResult",
     "build_engine",

@@ -66,7 +66,11 @@ class NetworkModel:
 
     The hot methods (:meth:`latency`, :meth:`transmission_time`) are called
     once or twice per simulated message, so node lookups are precomputed
-    into a flat list.
+    into a flat list.  The precomputed fields (``node_of``, ``group_of``,
+    ``intra_lat``/``inter_lat``/``group_lat``, the ``*_inv_bw`` inverse
+    bandwidths, ``eager_max``) are deliberately public: the engine's inlined
+    send path reads them directly instead of paying two method calls per
+    message.
     """
 
     platform: Platform
@@ -81,13 +85,13 @@ class NetworkModel:
         self.recv_overhead = self.params.recv_overhead
         self.rx_serialization = self.params.rx_serialization
         self.shared_node_nic = self.params.shared_node_nic
-        self._intra_lat = self.params.intra_latency
-        self._inter_lat = self.params.inter_latency
-        self._intra_inv_bw = 1.0 / self.params.intra_bandwidth
-        self._inter_inv_bw = 1.0 / self.params.inter_bandwidth
-        self._eager = self.params.eager_threshold
-        self._group_of = self.platform.group_of_rank_table()
-        self._group_lat = (
+        self.intra_lat = self.params.intra_latency
+        self.inter_lat = self.params.inter_latency
+        self.intra_inv_bw = 1.0 / self.params.intra_bandwidth
+        self.inter_inv_bw = 1.0 / self.params.inter_bandwidth
+        self.eager_max = self.params.eager_threshold
+        self.group_of = self.platform.group_of_rank_table()
+        self.group_lat = (
             self.params.group_latency
             if self.params.group_latency is not None
             else self.params.inter_latency
@@ -97,33 +101,33 @@ class NetworkModel:
             if self.params.group_bandwidth is not None
             else self.params.inter_bandwidth
         )
-        self._group_inv_bw = 1.0 / group_bw
+        self.group_inv_bw = 1.0 / group_bw
 
     def same_node(self, a: int, b: int) -> bool:
         return self._node_of[a] == self._node_of[b]
 
     def is_eager(self, nbytes: int) -> bool:
-        return nbytes <= self._eager
+        return nbytes <= self.eager_max
 
     def latency(self, src: int, dst: int) -> float:
         """Wire latency between two ranks (zero for a self-message)."""
         if src == dst:
             return 0.0
         if self._node_of[src] == self._node_of[dst]:
-            return self._intra_lat
-        if self._group_of[src] == self._group_of[dst]:
-            return self._inter_lat
-        return self._group_lat
+            return self.intra_lat
+        if self.group_of[src] == self.group_of[dst]:
+            return self.inter_lat
+        return self.group_lat
 
     def transmission_time(self, src: int, dst: int, nbytes: int) -> float:
         """Time the message occupies an injection/extraction port."""
         if src == dst:
             return 0.0
         if self._node_of[src] == self._node_of[dst]:
-            return nbytes * self._intra_inv_bw
-        if self._group_of[src] == self._group_of[dst]:
-            return nbytes * self._inter_inv_bw
-        return nbytes * self._group_inv_bw
+            return nbytes * self.intra_inv_bw
+        if self.group_of[src] == self.group_of[dst]:
+            return nbytes * self.inter_inv_bw
+        return nbytes * self.group_inv_bw
 
     def point_to_point_time(self, src: int, dst: int, nbytes: int) -> float:
         """Analytic cost of one isolated message (no port contention).

@@ -1,0 +1,207 @@
+"""Matching-order guarantees around the O(1) fast paths.
+
+The engine resolves exact-envelope receives with a single dict lookup and
+only falls back to scanning when wildcards are involved.  These tests pin
+the MPI-mandated ordering semantics that must survive the fast path:
+wildcard receives match the earliest-*arrived* message, arriving messages
+match the earliest-*posted* receive, ties break deterministically, and
+mixed exact+wildcard queues interleave correctly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import ANY_SOURCE, ANY_TAG
+from repro.sim.mpi import run_processes
+from repro.sim.network import NetworkParams
+from repro.sim.platform import Platform
+
+
+@pytest.fixture
+def plat() -> Platform:
+    return Platform("match", nodes=2, cores_per_node=4)
+
+
+@pytest.fixture
+def params() -> NetworkParams:
+    # Flat, overhead-free network so arrival order is forced purely by the
+    # explicit sleeps in the programs below.
+    return NetworkParams(
+        intra_latency=1e-6,
+        inter_latency=1e-6,
+        intra_bandwidth=1e9,
+        inter_bandwidth=1e9,
+        send_overhead=0.0,
+        recv_overhead=0.0,
+        eager_threshold=1 << 20,
+        rx_serialization=False,
+    )
+
+
+class TestWildcardRecvOrder:
+    def test_any_source_matches_earliest_arrival_across_sources(self, plat, params):
+        """Senders 1..3 arrive in reverse-rank order; ANY_SOURCE must drain
+        them by arrival time, not by source rank or dict order."""
+
+        def prog(ctx):
+            if ctx.rank in (1, 2, 3):
+                yield ctx.sleep((4 - ctx.rank) * 1e-3)  # rank 3 first, rank 1 last
+                yield from ctx.send(0, nbytes=8, tag=5, payload=ctx.rank)
+            elif ctx.rank == 0:
+                yield ctx.sleep(10e-3)  # all three are unexpected by now
+                order = []
+                for _ in range(3):
+                    req = yield from ctx.recv(ANY_SOURCE, tag=5)
+                    order.append(req.source_rank)
+                return order
+
+        res = run_processes(plat, prog, params=params)
+        assert res.rank_results[0] == [3, 2, 1]
+
+    def test_any_tag_matches_earliest_arrival_across_tags(self, plat, params):
+        def prog(ctx):
+            if ctx.rank == 1:
+                for tag in (30, 10, 20):  # arrival order by tag
+                    yield from ctx.send(0, nbytes=8, tag=tag, payload=tag)
+                    yield ctx.sleep(1e-3)
+            elif ctx.rank == 0:
+                yield ctx.sleep(10e-3)
+                tags = []
+                for _ in range(3):
+                    req = yield from ctx.recv(1, tag=ANY_TAG)
+                    tags.append(req.recv_tag)
+                return tags
+
+        res = run_processes(plat, prog, params=params)
+        assert res.rank_results[0] == [30, 10, 20]
+
+    def test_full_wildcard_interleaves_sources_and_tags(self, plat, params):
+        arrival_order = [(2, 7), (1, 9), (2, 9), (1, 7)]
+
+        def prog(ctx):
+            if ctx.rank in (1, 2):
+                for i, (src, tag) in enumerate(arrival_order):
+                    if src == ctx.rank:
+                        yield ctx.wait_until((i + 1) * 1e-3)
+                        yield from ctx.send(0, nbytes=8, tag=tag, payload=(src, tag))
+            elif ctx.rank == 0:
+                yield ctx.sleep(10e-3)
+                seen = []
+                for _ in range(4):
+                    req = yield from ctx.recv(ANY_SOURCE, tag=ANY_TAG)
+                    seen.append((req.source_rank, req.recv_tag))
+                return seen
+
+        res = run_processes(plat, prog, params=params)
+        assert res.rank_results[0] == arrival_order
+
+    def test_exact_recv_skips_other_tags_wildcard_drains_rest(self, plat, params):
+        """Mixed exact+wildcard receives against a multi-tag unexpected queue:
+        the exact receive takes only its tag; wildcards take arrival order."""
+
+        def prog(ctx):
+            if ctx.rank == 1:
+                for tag in (11, 12, 13):
+                    yield from ctx.send(0, nbytes=8, tag=tag, payload=tag)
+                    yield ctx.sleep(1e-3)
+            elif ctx.rank == 0:
+                yield ctx.sleep(10e-3)
+                exact = yield from ctx.recv(1, tag=12)
+                rest = []
+                for _ in range(2):
+                    req = yield from ctx.recv(1, tag=ANY_TAG)
+                    rest.append(req.recv_tag)
+                return (exact.recv_tag, rest)
+
+        res = run_processes(plat, prog, params=params)
+        assert res.rank_results[0] == (12, [11, 13])
+
+
+class TestPostedRecvOrder:
+    def test_message_matches_earliest_posted_among_exact_and_wildcard(self, plat, params):
+        """A wildcard receive posted before an exact one wins the message."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                wild = ctx.irecv(ANY_SOURCE, tag=3)
+                yield ctx.sleep(1e-3)
+                exact = ctx.irecv(1, tag=3)
+                yield ctx.waitall(wild)
+                assert wild.source_rank == 1
+                # Second message lands on the (later-posted) exact receive.
+                yield ctx.waitall(exact)
+                return (wild.payload, exact.payload)
+            elif ctx.rank == 1:
+                yield ctx.sleep(5e-3)
+                yield from ctx.send(0, nbytes=8, tag=3, payload="first")
+                yield from ctx.send(0, nbytes=8, tag=3, payload="second")
+
+        res = run_processes(plat, prog, params=params)
+        assert res.rank_results[0] == ("first", "second")
+
+    def test_exact_posted_before_wildcard_wins(self, plat, params):
+        def prog(ctx):
+            if ctx.rank == 0:
+                exact = ctx.irecv(1, tag=3)
+                yield ctx.sleep(1e-3)
+                wild = ctx.irecv(ANY_SOURCE, tag=ANY_TAG)
+                yield ctx.waitall(exact)
+                assert not wild.done
+                yield from ctx.send(2, nbytes=8, tag=4, payload="x")  # satisfy wild
+                yield ctx.waitall(wild)
+                return (exact.payload, wild.source_rank)
+            elif ctx.rank == 1:
+                yield ctx.sleep(5e-3)
+                yield from ctx.send(0, nbytes=8, tag=3, payload="exact-wins")
+            elif ctx.rank == 2:
+                req = yield from ctx.recv(0, tag=4)
+                yield from ctx.send(0, nbytes=8, tag=9, payload=req.payload)
+
+        res = run_processes(plat, prog, params=params)
+        assert res.rank_results[0] == ("exact-wins", 2)
+
+    def test_posted_tie_breaks_toward_wildcard_deterministically(self, plat, params):
+        """With recv_overhead=0 an exact and a wildcard receive can carry the
+        same post_time; the tie must break the same way on every run."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                exact = ctx.irecv(1, tag=3)
+                wild = ctx.irecv(ANY_SOURCE, tag=3)  # identical post_time
+                yield ctx.waitany(exact, wild)
+                winner = "exact" if exact.done else "wild"
+                remaining = wild if winner == "exact" else exact
+                yield ctx.waitall(remaining)
+                return winner
+            elif ctx.rank == 1:
+                yield ctx.sleep(1e-3)
+                yield from ctx.send(0, nbytes=8, tag=3)
+                yield from ctx.send(0, nbytes=8, tag=3)
+
+        first = run_processes(plat, prog, params=params)
+        second = run_processes(plat, prog, params=params)
+        assert first.rank_results[0] == second.rank_results[0]
+        # The wildcard key (-1, 3) sorts before (1, 3): documented tie-break.
+        assert first.rank_results[0] == "wild"
+
+    def test_wildcard_fallback_disengages_after_wildcards_drain(self, plat, params):
+        """Once all wildcard receives are matched, later messages go back to
+        the exact fast path (wild_posted bookkeeping must hit zero)."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                wild = ctx.irecv(ANY_SOURCE, tag=ANY_TAG)
+                yield ctx.waitall(wild)
+                exact = yield from ctx.recv(1, tag=8)
+                return (wild.recv_tag, exact.payload)
+            elif ctx.rank == 1:
+                yield ctx.sleep(1e-3)
+                yield from ctx.send(0, nbytes=8, tag=7)
+                yield from ctx.send(0, nbytes=8, tag=8, payload="fast-path")
+
+        res = run_processes(plat, prog, params=params)
+        assert res.rank_results[0] == (7, "fast-path")
+        stats = res.engine_stats
+        assert stats is not None
+        assert stats.posted_fast > 0  # fast path re-engaged after the wildcard

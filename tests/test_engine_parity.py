@@ -1,0 +1,110 @@
+"""Determinism parity pins for the engine hot-path overhaul.
+
+These constants were captured from the pre-overhaul engine (PR 1 state) on
+fixed seeds.  The O(1) matching, countdown waits, and tuple-event heap must
+not move a single timestamp: ``final_time``, per-rank clocks, per-rank
+results, event counts, and selection outcomes are pinned bit-for-bit.  If a
+deliberate model change ever invalidates them, re-capture with the recipe in
+each test — do not loosen the comparisons to approx.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.bench.micro import MicroBenchmark
+from repro.collectives import CollArgs, make_input, run_collective
+from repro.patterns.generator import generate_pattern
+from repro.sim.mpi import run_processes
+from repro.sim.platform import Platform
+
+
+def digest_floats(values) -> str:
+    arr = np.asarray(values, dtype=np.float64)
+    return hashlib.sha256(arr.tobytes()).hexdigest()[:16]
+
+
+def digest_results(results) -> str:
+    h = hashlib.sha256()
+    for r in results:
+        arr = np.asarray(r, dtype=np.float64) if r is not None else np.array([])
+        h.update(arr.tobytes())
+    return h.hexdigest()[:16]
+
+
+# (collective, algorithm) -> (final_time, rank_times digest, results digest,
+# events processed), captured at 64 ranks (16 nodes x 4 cores), default
+# network, ascending pattern (max_skew=200us, seed=7), count=8, 2048 B.
+PINNED = {
+    ("reduce", "binomial"): (
+        0.00023146079999999988,
+        "eea76f212665b4bf",
+        "0647177bc6b9fb7d",
+        317,
+    ),
+    ("allreduce", "recursive_doubling"): (
+        0.00023959119999999981,
+        "a65a004b67a4db6f",
+        "340f587faf1d76e7",
+        896,
+    ),
+    ("alltoall", "basic_linear"): (
+        0.0006074305904761939,
+        "7875e4414a3ae789",
+        "29de3e8047dd4c32",
+        4224,
+    ),
+    ("alltoall", "pairwise"): (
+        0.0006251037968253995,
+        "221723447819f902",
+        "29de3e8047dd4c32",
+        8192,
+    ),
+}
+
+
+@pytest.mark.parametrize("collective,algorithm", sorted(PINNED))
+def test_collective_parity_is_bit_identical(collective, algorithm):
+    plat = Platform("parity", nodes=16, cores_per_node=4)
+    p = plat.num_ranks
+    pattern = generate_pattern("ascending", p, max_skew=200e-6, seed=7)
+    args = CollArgs(count=8, msg_bytes=2048.0)
+    inputs = [make_input(collective, r, p, 8) for r in range(p)]
+
+    def prog(ctx):
+        yield ctx.wait_until(pattern.skew_of(ctx.rank))
+        result = yield from run_collective(ctx, collective, algorithm, args, inputs[ctx.rank])
+        return result
+
+    run = run_processes(plat, prog)
+    final_time, times_digest, results_digest, events = PINNED[(collective, algorithm)]
+    assert run.final_time == final_time  # exact, not approx
+    assert digest_floats(run.rank_times) == times_digest
+    assert digest_results(run.rank_results) == results_digest
+    assert run.events_processed == events
+
+
+# Expected mean last_delay per alltoall algorithm (32 ranks, random pattern
+# max_skew=150us seed=11, 4 KiB, nrep=2, seed=3) and the resulting winner.
+PINNED_SELECTION = {
+    "basic_linear": 0.0003246882001687962,
+    "bruck": 0.0009031895999999985,
+    "linear_sync": 0.00033754058500244806,
+    "pairwise": 0.00038687839999999017,
+}
+
+
+def test_selection_outcome_parity():
+    bench = MicroBenchmark(
+        platform=Platform("parity-sel", nodes=8, cores_per_node=4), nrep=2, seed=3
+    )
+    pattern = generate_pattern("random", 32, max_skew=150e-6, seed=11)
+    results = bench.run_many(
+        "alltoall", sorted(PINNED_SELECTION), msg_bytes=4096.0, pattern=pattern
+    )
+    means = {a: float(np.mean(r.last_delays)) for a, r in results.items()}
+    assert means == PINNED_SELECTION  # exact float equality
+    assert min(means, key=means.get) == "basic_linear"

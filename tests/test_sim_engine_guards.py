@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ProtocolError, SimulationError
-from repro.sim.engine import Engine
+from repro.sim.engine import ANY_SOURCE, ANY_TAG, Engine
 from repro.sim.mpi import build_engine, run_processes
 from repro.sim.network import NetworkModel, NetworkParams
 from repro.sim.platform import Platform
@@ -73,6 +73,24 @@ class TestGuards:
 
         with pytest.raises(ProtocolError, match="foreign recv"):
             run_processes(small_platform, prog)
+
+    def test_irecv_negative_tag_rejected(self, small_platform):
+        """A negative tag that is not ANY_TAG would silently never match any
+        message (sends reject negative tags) — fail fast instead."""
+        _, contexts = build_engine(small_platform)
+        with pytest.raises(ProtocolError, match="negative tag"):
+            contexts[0].irecv(1, tag=-7)
+
+    def test_irecv_negative_size_rejected(self, small_platform):
+        _, contexts = build_engine(small_platform)
+        with pytest.raises(ProtocolError, match="negative size"):
+            contexts[0].irecv(1, nbytes=-1)
+
+    def test_irecv_wildcards_still_accepted(self, small_platform):
+        """ANY_SOURCE / ANY_TAG are negative sentinels and must stay legal."""
+        _, contexts = build_engine(small_platform)
+        req = contexts[0].irecv(ANY_SOURCE, tag=ANY_TAG)
+        assert not req.done
 
     def test_self_message_zero_cost(self):
         """A rank messaging itself completes instantly (no wire charges)."""
