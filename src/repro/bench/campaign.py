@@ -33,6 +33,7 @@ from repro.bench.executor import CellExecutor, CellSpec, ExecutorStats
 from repro.bench.micro import MicroBenchmark
 from repro.bench.results import SweepResult
 from repro.collectives.base import list_algorithms
+from repro.obs.context import current as _obs_current
 from repro.patterns.generator import generate_pattern
 from repro.patterns.shapes import NO_DELAY, list_shapes
 from repro.patterns.skew import DEFAULT_SKEW_FACTOR, skew_from_mean_runtime
@@ -147,7 +148,10 @@ class TuningCampaign:
                 CellSpec.from_bench(self.bench, coll, algo, size)
                 for algo in algorithms
             )
-        base_results = iter(executor.run_cells(base_specs))
+        octx = _obs_current()
+        with octx.wall_span("campaign.baselines", track="campaign",
+                            args={"cells": len(base_specs)}):
+            base_results = iter(executor.run_cells(base_specs))
         # Size each cell's skew from its baselines; build the skewed batch.
         sweeps: list[SweepResult] = []
         skewed_specs = []
@@ -174,7 +178,9 @@ class TuningCampaign:
                 )
             sweeps.append(sweep)
         # Phase 2: every skewed cell across the whole campaign fans out.
-        skewed_results = iter(executor.run_cells(skewed_specs))
+        with octx.wall_span("campaign.skewed", track="campaign",
+                            args={"cells": len(skewed_specs)}):
+            skewed_results = iter(executor.run_cells(skewed_specs))
         for (coll, algorithms, size), sweep in zip(grid, sweeps):
             for _shape in shapes:
                 for _algo in algorithms:

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro._version import __version__
 from repro.errors import ConfigurationError
+from repro.obs.context import current as _obs_current
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bench.micro import MicroBenchmark
@@ -368,30 +369,38 @@ class CellExecutor:
     ) -> list["BenchResult"]:
         """Execute every spec; returns results aligned with ``specs``."""
         started = time.perf_counter()
-        results: list["BenchResult | None"] = [None] * len(specs)
-        pending: list[int] = []
-        for i, spec in enumerate(specs):
-            cached = self.cache.get(spec) if self.cache is not None else None
-            if cached is not None:
-                results[i] = cached
-                self.stats.hits += 1
+        octx = _obs_current()
+        with octx.wall_span("executor.run_cells", track="executor",
+                            args={"cells": len(specs), "jobs": self.jobs}):
+            results: list["BenchResult | None"] = [None] * len(specs)
+            pending: list[int] = []
+            for i, spec in enumerate(specs):
+                cached = self.cache.get(spec) if self.cache is not None else None
+                if cached is not None:
+                    results[i] = cached
+                    self.stats.hits += 1
+                else:
+                    pending.append(i)
+                if progress is not None:
+                    progress(spec)
+            if len(pending) > 1 and self.jobs > 1:
+                workers = min(self.jobs, len(pending))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    for i, (result, seconds) in zip(
+                        pending, pool.map(_run_cell_timed, [specs[i] for i in pending])
+                    ):
+                        results[i] = self._record(specs[i], result, seconds)
             else:
-                pending.append(i)
-            if progress is not None:
-                progress(spec)
-        if len(pending) > 1 and self.jobs > 1:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for i, (result, seconds) in zip(
-                    pending, pool.map(_run_cell_timed, [specs[i] for i in pending])
-                ):
+                for i in pending:
+                    result, seconds = _run_cell_timed(specs[i])
                     results[i] = self._record(specs[i], result, seconds)
-        else:
-            for i in pending:
-                result, seconds = _run_cell_timed(specs[i])
-                results[i] = self._record(specs[i], result, seconds)
-        self.stats.cells += len(specs)
-        self.stats.wall_seconds += time.perf_counter() - started
+            self.stats.cells += len(specs)
+            self.stats.wall_seconds += time.perf_counter() - started
+        if octx.enabled:
+            m = octx.metrics
+            m.counter("executor.cells").inc(len(specs))
+            m.counter("executor.cache_hits").inc(len(specs) - len(pending))
+            m.counter("executor.simulated").inc(len(pending))
         return results  # type: ignore[return-value]
 
     def _record(self, spec: CellSpec, result: "BenchResult",
@@ -401,6 +410,7 @@ class CellExecutor:
         self.stats.simulated += 1
         self.stats.sim_seconds += seconds
         self.stats.cell_seconds.append(seconds)
+        _obs_current().metrics.histogram("executor.cell_seconds").observe(seconds)
         return result
 
 

@@ -26,6 +26,7 @@ from repro.clocks.local import ClockSet
 from repro.clocks.sync import sync_clocks
 from repro.collectives import CollArgs, make_input, run_collective
 from repro.collectives.ops import SUM, ReduceOp
+from repro.obs.context import current as _obs_current
 from repro.patterns.generator import ArrivalPattern, no_delay_pattern
 from repro.sim.mpi import run_processes
 from repro.sim.network import NetworkParams
@@ -126,6 +127,8 @@ class MicroBenchmark:
         )
         nrep = self.nrep
         slack = self.harmonize_slack
+        octx = _obs_current()
+        trace_waits = octx.enabled and octx.record_spans
 
         def prog(ctx):
             me = ctx.rank
@@ -139,6 +142,7 @@ class MicroBenchmark:
                 target, _ok = yield from harmonize(
                     ctx, clock, correction, slack=slack + pattern.max_skew
                 )
+                wait_from = ctx.time()
                 # Busy-wait until the skew target on the measuring clock.
                 if synced:
                     true_target = clockset[me].true_from_local(
@@ -149,6 +153,9 @@ class MicroBenchmark:
                 else:
                     yield ctx.wait_until(target + skew)
                     a = ctx.time()
+                if trace_waits:
+                    octx.record_rank_span("skew_wait", me, wait_from, ctx.time(),
+                                          args={"skew": skew, "rep": _rep})
                 yield from run_collective(ctx, collective, algorithm, args, inputs[me])
                 if synced:
                     e = correction.apply(clock.read(ctx.time()))
@@ -157,7 +164,12 @@ class MicroBenchmark:
                 observations.append((a, e))
             return observations
 
-        run = run_processes(self.platform, prog, params=self.params, noise=noise)
+        with octx.wall_span(
+            "bench.cell", track="bench",
+            args={"collective": collective, "algorithm": algorithm,
+                  "msg_bytes": float(msg_bytes), "pattern": pattern.name},
+        ):
+            run = run_processes(self.platform, prog, params=self.params, noise=noise)
         timings = []
         for rep in range(nrep):
             arrivals = np.array([run.rank_results[r][rep][0] for r in range(p)])

@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError
 from repro.bench.executor import CellExecutor, CellSpec
 from repro.bench.micro import MicroBenchmark
 from repro.bench.results import SweepResult
+from repro.obs.context import current as _obs_current
 from repro.patterns.generator import ArrivalPattern, generate_pattern
 from repro.patterns.shapes import NO_DELAY
 from repro.patterns.skew import DEFAULT_SKEW_FACTOR, skew_from_mean_runtime
@@ -56,7 +57,12 @@ def _no_delay_phase(
         for algo in algorithms
     ]
     no_delay_runtimes: dict[str, float] = {}
-    for algo, result in zip(algorithms, executor.run_cells(specs)):
+    with _obs_current().wall_span(
+        "sweep.no_delay_phase", track="sweep",
+        args={"collective": collective, "algorithms": len(specs)},
+    ):
+        results = executor.run_cells(specs)
+    for algo, result in zip(algorithms, results):
         sweep.add(result)
         no_delay_runtimes[algo] = result.last_delay
     sweep.skew_by_pattern[NO_DELAY] = 0.0
@@ -77,7 +83,12 @@ def _pattern_phase(
         CellSpec.from_bench(bench, collective, algo, msg_bytes, pattern, **run_kwargs)
         for pattern, algo in cells
     ]
-    for result in executor.run_cells(specs):
+    with _obs_current().wall_span(
+        "sweep.pattern_phase", track="sweep",
+        args={"collective": collective, "cells": len(specs)},
+    ):
+        results = executor.run_cells(specs)
+    for result in results:
         sweep.add(result)
 
 

@@ -23,7 +23,7 @@ _FIG_COLLECTIVES = ("reduce", "allreduce", "alltoall")
 
 
 def _add_common(parser: argparse.ArgumentParser, machine_default: str = "hydra",
-                nodes_default: int = 16) -> None:
+                nodes_default: int = 16, obs_trace: bool = True) -> None:
     parser.add_argument("--machine", default=machine_default,
                         help=f"machine preset (default: {machine_default})")
     parser.add_argument("--nodes", type=int, default=nodes_default)
@@ -44,6 +44,15 @@ def _add_common(parser: argparse.ArgumentParser, machine_default: str = "hydra",
                         help="print aggregate engine statistics (events, match "
                         "fast-path hits, events/s) to stderr when done; with "
                         "--jobs > 1 only the parent process's runs are counted")
+    if obs_trace:
+        parser.add_argument("--trace-out", default=None, metavar="PATH",
+                            dest="obs_trace_out",
+                            help="export a Perfetto/Chrome trace_event JSON of "
+                            "this run (open at ui.perfetto.dev)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        dest="obs_metrics_out",
+                        help="export the run's metrics snapshot (counters, "
+                        "histograms, engine stats) as JSON")
 
 
 def _config(args: argparse.Namespace, machine: str | None = None) -> ExperimentConfig:
@@ -139,7 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
         "trace",
         help="run a proxy application under the tracer; write trace + pattern files",
     )
-    _add_common(ptrace, machine_default="galileo100", nodes_default=8)
+    # obs_trace=False: this command's own --trace-out is the *application*
+    # collective trace; the Perfetto export is still available via profile.
+    _add_common(ptrace, machine_default="galileo100", nodes_default=8,
+                obs_trace=False)
     ptrace.add_argument("--app", choices=["ft", "cg"], default="ft")
     ptrace.add_argument("--algorithm", default=None,
                         help="collective algorithm the app uses (default: app's)")
@@ -159,6 +171,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="message sizes (e.g. 8 1KiB 32KiB)")
     ptune.add_argument("--out", default="tuned", metavar="DIR",
                        help="output directory for table/rules/sweeps")
+
+    pprof = sub.add_parser(
+        "profile",
+        help="run one fully instrumented benchmark cell: ASCII per-rank "
+        "timeline + Perfetto trace + metrics snapshot",
+    )
+    _add_common(pprof, machine_default="simcluster")
+    pprof.add_argument("--collective", default="alltoall")
+    pprof.add_argument("--algorithm", default=None,
+                       help="algorithm to profile (default: first registered)")
+    pprof.add_argument("--msg-bytes", default="32KiB", dest="msg_bytes",
+                       help="message size (e.g. 8, 1KiB, 32KiB)")
+    pprof.add_argument("--shape", default="ascending",
+                       help="arrival-pattern shape (see fig3; 'no_delay' "
+                       "profiles the balanced case)")
+    pprof.add_argument("--max-skew", type=float, default=None, dest="max_skew",
+                       help="pattern max skew in seconds (default: 1.5x the "
+                       "No-delay runtime, the paper's headline factor)")
+    pprof.add_argument("--timeline-width", type=int, default=64,
+                       dest="timeline_width",
+                       help="ASCII timeline body width in columns")
 
     pall = sub.add_parser("all", help="run every figure and table")
     _add_common(pall)
@@ -211,17 +244,71 @@ def _run_one(command: str, args: argparse.Namespace) -> str:
     return mod.report(result)
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    command = args.command
-    started = time.time()
-    engine_agg = None
-    if getattr(args, "verbose", False):
-        # Aggregates every in-process Engine.run; sweeps fanned out with
-        # --jobs > 1 run in worker interpreters and are not counted here.
-        from repro.sim.engine import enable_stats_aggregation
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """The ``profile`` command: one instrumented cell, rendered and exported."""
+    from repro import obs
+    from repro.collectives.base import list_algorithms
+    from repro.patterns.generator import generate_pattern
+    from repro.patterns.shapes import NO_DELAY
+    from repro.reporting.timeline import render_timeline
+    from repro.utils.units import format_time, parse_bytes
 
-        engine_agg = enable_stats_aggregation()
+    config = _config(args)
+    bench = config.make_bench()
+    collective = args.collective
+    algorithm = args.algorithm or list_algorithms(collective)[0]
+    msg_bytes = parse_bytes(args.msg_bytes)
+    octx = obs.current()
+    # The No-delay baseline sizes the default skew (the paper's policy).
+    baseline = bench.run(collective, algorithm, msg_bytes)
+    if args.shape == NO_DELAY:
+        result = baseline
+        timeline_from = 0
+    else:
+        skew = (args.max_skew if args.max_skew is not None
+                else config.skew_factor * baseline.last_delay)
+        pattern = generate_pattern(args.shape, bench.num_ranks, skew,
+                                   seed=config.seed)
+        # Chart only the patterned run's spans: each run restarts virtual
+        # time at zero, so overlaying both would garble the timeline.
+        timeline_from = len(octx.spans) if octx.spans is not None else 0
+        result = bench.run(collective, algorithm, msg_bytes, pattern)
+    print(f"profile {collective}/{algorithm} @ {args.msg_bytes} "
+          f"on {config.machine} ({bench.num_ranks} ranks), "
+          f"pattern {result.pattern_name} "
+          f"(max skew {format_time(result.max_skew)})")
+    print(f"  No-delay runtime {format_time(baseline.last_delay)}; "
+          f"under pattern {format_time(result.last_delay)}")
+    if octx.enabled and octx.spans is not None:
+        spans = list(octx.spans)[timeline_from:]
+        print()
+        print(render_timeline(
+            spans, width=args.timeline_width,
+            names={"skew_wait", f"{collective}/{algorithm}"},
+            title=f"virtual timeline ({collective}/{algorithm}, "
+            f"{result.pattern_name})",
+        ))
+    return 0
+
+
+def _executor_summary(octx) -> str | None:
+    """Cache hit-rate / per-cell timing line from the metrics registry."""
+    m = octx.metrics
+    cells = m.get("executor.cells")
+    if cells is None or not cells.value:
+        return None
+    hits = m.get("executor.cache_hits")
+    hit_n = hits.value if hits is not None else 0
+    text = (f"executor: {cells.value} cells, {hit_n} cache hits "
+            f"({int(hit_n / cells.value * 100)}% hit rate)")
+    hist = m.get("executor.cell_seconds")
+    if hist is not None and hist.count:
+        text += (f"; cell time mean {hist.mean:.3f}s, max {hist.max:.3f}s, "
+                 f"total {hist.total:.2f}s")
+    return text
+
+
+def _dispatch(command: str, args: argparse.Namespace) -> int:
     if command == "table1":
         print(tables.table1())
     elif command == "table2":
@@ -328,16 +415,55 @@ def main(argv: list[str] | None = None) -> int:
         print(tables.table1())
         print()
         print(tables.table2())
+    elif command == "profile":
+        return _cmd_profile(args)
     else:
         print(_run_one(command, args))
-    if engine_agg is not None:
-        from repro.sim.engine import disable_stats_aggregation
-
-        disable_stats_aggregation()
-        print(f"[engine: {engine_agg.runs} runs, {engine_agg.summary()}]",
-              file=sys.stderr)
-    print(f"\n[{command} completed in {time.time() - started:.1f}s]", file=sys.stderr)
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    started = time.time()
+    trace_out = getattr(args, "obs_trace_out", None)
+    if command == "profile" and trace_out is None:
+        trace_out = "profile_trace.json"
+    metrics_out = getattr(args, "obs_metrics_out", None)
+    verbose = getattr(args, "verbose", False)
+    # Every command with harness knobs runs inside an observability session:
+    # metrics always (counters are near-free and feed the summaries below);
+    # span recording only when someone will consume a trace.
+    octx = None
+    if hasattr(args, "obs_metrics_out"):
+        from repro import obs
+
+        with obs.session(meta={"command": command},
+                         record_spans=bool(trace_out)) as octx:
+            code = _dispatch(command, args)
+    else:
+        code = _dispatch(command, args)
+    if octx is not None:
+        from repro import obs
+
+        if trace_out:
+            print(f"wrote trace: {obs.export_perfetto(trace_out, octx)}")
+        if metrics_out:
+            print(f"wrote metrics: {obs.export_metrics(metrics_out, octx)}")
+        summary = _executor_summary(octx)
+        if summary is not None:
+            print(f"  [{summary}]", file=sys.stderr)
+        if verbose:
+            # Aggregated over every in-process Engine.run; sweeps fanned out
+            # with --jobs > 1 run in worker interpreters, not counted here.
+            agg = octx.engine_stats
+            if agg is not None:
+                print(f"[engine: {agg.runs} runs, {agg.summary()}]",
+                      file=sys.stderr)
+            else:
+                print("[engine: 0 runs]", file=sys.stderr)
+    print(f"\n[{command} completed in {time.time() - started:.1f}s]", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

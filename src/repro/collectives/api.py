@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.collectives.base import CollArgs, get_algorithm
+from repro.obs.context import current as _obs_current
 from repro.sim.mpi import ProcContext
 
 
@@ -43,9 +44,27 @@ def make_input(
 
 
 def run_collective(ctx: ProcContext, collective: str, algorithm: str, args: CollArgs, data):
-    """Generator: run one collective algorithm on this rank; returns its result."""
+    """Generator: run one collective algorithm on this rank; returns its result.
+
+    When an observability session is open this is the canonical
+    instrumentation point: it counts the call and records one
+    arrival-to-exit span on the rank's virtual-time track — which is what
+    makes process arrival patterns readable straight off the trace.
+    """
     info = get_algorithm(collective, algorithm)
-    return (yield from info.fn(ctx, args, data))
+    octx = _obs_current()
+    if not octx.enabled:
+        return (yield from info.fn(ctx, args, data))
+    octx.metrics.counter(f"collective.calls.{collective}.{algorithm}").inc()
+    if not octx.record_spans:
+        return (yield from info.fn(ctx, args, data))
+    arrival = ctx.time()
+    result = yield from info.fn(ctx, args, data)
+    octx.record_rank_span(
+        f"{collective}/{algorithm}", ctx.rank, arrival, ctx.time(),
+        args={"msg_bytes": args.msg_bytes},
+    )
+    return result
 
 
 def reference_result(

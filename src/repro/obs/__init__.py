@@ -1,0 +1,107 @@
+"""repro.obs — the unified, run-scoped observability layer.
+
+Every layer of the stack plugs into one :class:`ObsContext` per run:
+
+* **metrics** — counters, gauges, and fixed log2-bucket histograms
+  (:mod:`repro.obs.metrics`) absorbing the engine's hot-path counters, the
+  executor/result-cache hit rates, and per-collective call counts;
+* **spans** — virtual-time intervals on one track per simulated rank
+  (arrival patterns become literally visible) plus wall-clock intervals
+  for harness stages, in a bounded ring buffer (:mod:`repro.obs.spans`);
+* **exporters** — Chrome/Perfetto ``trace_event`` JSON, a JSONL event
+  stream, and a metrics snapshot, all stamped with a deterministic run ID
+  (:mod:`repro.obs.export`, :mod:`repro.obs.runid`).
+
+Usage::
+
+    from repro import obs
+
+    with obs.session(meta={"command": "profile"}) as octx:
+        ...  # run simulations; layers record through obs.current()
+        obs.export_perfetto("trace.json", octx)
+
+When no session is open, :func:`current` returns the shared disabled
+:data:`NULL_CONTEXT` whose methods are allocation-free no-ops — and
+instrumentation never changes simulated results either way (pinned by the
+parity tests).
+"""
+
+from repro.obs.context import (
+    NULL_CONTEXT,
+    NullObsContext,
+    ObsContext,
+    absorb_engine_stats,
+    current,
+    disable_process_engine_aggregation,
+    enable_process_engine_aggregation,
+    session,
+)
+from repro.obs.export import (
+    export_jsonl,
+    export_metrics,
+    export_perfetto,
+    load_perfetto,
+    metrics_payload,
+    rank_tracks,
+    read_jsonl,
+    trace_events,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_METRICS,
+)
+from repro.obs.runid import RUN_ID_LEN, make_run_id
+from repro.obs.spans import (
+    DEFAULT_CAPACITY,
+    Span,
+    SpanRecorder,
+    VIRTUAL,
+    WALL,
+    rank_track,
+)
+
+__all__ = [
+    # context
+    "ObsContext",
+    "NullObsContext",
+    "NULL_CONTEXT",
+    "current",
+    "session",
+    "absorb_engine_stats",
+    "enable_process_engine_aggregation",
+    "disable_process_engine_aggregation",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_METRICS",
+    # spans
+    "Span",
+    "SpanRecorder",
+    "VIRTUAL",
+    "WALL",
+    "DEFAULT_CAPACITY",
+    "rank_track",
+    # run ids
+    "RUN_ID_LEN",
+    "make_run_id",
+    # export
+    "trace_events",
+    "export_perfetto",
+    "export_metrics",
+    "metrics_payload",
+    "export_jsonl",
+    "read_jsonl",
+    "load_perfetto",
+    "rank_tracks",
+]

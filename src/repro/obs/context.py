@@ -1,0 +1,218 @@
+"""The run-scoped observability context and its disabled-mode null object.
+
+One :class:`ObsContext` scopes everything observability owns — a
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.spans.SpanRecorder`, an engine-stats aggregate, a
+deterministic run ID — to one *run* (a CLI invocation, a profile cell, a
+test).  The active context travels through a :mod:`contextvars` variable:
+
+* :func:`session` installs a fresh enabled context for a ``with`` block,
+* :func:`current` returns the active context — or :data:`NULL_CONTEXT`,
+  the shared disabled singleton, when no session is open.
+
+Because the scope is a context variable (not a module global), concurrent
+or nested runs each see their own aggregates; because the disabled path is
+a null object whose methods are no-ops over shared singletons, instrumented
+code needs no ``if obs is not None`` guards and pays near-zero cost when
+observability is off.
+
+Determinism guarantee: contexts only *read* simulated clocks and host
+wall clocks.  Opening a session never changes simulated results — the
+parity tests pin traced and untraced runs bit-for-bit.
+
+Engine-stats aggregation
+------------------------
+``Engine.run`` reports its :class:`~repro.sim.engine.EngineStats` through
+:func:`absorb_engine_stats` after every run.  The active session merges
+them into its own run-scoped aggregate (``ctx.engine_stats``).  The legacy
+process-wide accumulator of ``repro.sim.engine.enable_stats_aggregation``
+lives here too (:func:`enable_process_engine_aggregation`) so existing
+callers keep working — but new code should prefer a session, which cannot
+leak across concurrent runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetricsRegistry
+from repro.obs.spans import DEFAULT_CAPACITY, SpanRecorder, rank_track
+from repro.obs.runid import make_run_id
+
+#: Shared no-op context manager returned by disabled wall_span calls.
+_NULL_CM = nullcontext(None)
+
+
+class ObsContext:
+    """Container for one run's observability state (enabled mode)."""
+
+    __slots__ = ("run_id", "meta", "enabled", "record_spans", "metrics",
+                 "spans", "engine_stats")
+
+    def __init__(self, run_id: str, meta: dict[str, Any],
+                 record_spans: bool = True,
+                 span_capacity: int = DEFAULT_CAPACITY) -> None:
+        self.run_id = run_id
+        self.meta = meta
+        self.enabled = True
+        self.record_spans = record_spans
+        self.metrics: MetricsRegistry = MetricsRegistry()
+        self.spans = SpanRecorder(capacity=span_capacity)
+        #: Run-scoped EngineStats aggregate (lazily typed off the first
+        #: absorbed stats object, so this module never imports the engine).
+        self.engine_stats: Any = None
+
+    # -- spans ---------------------------------------------------------- #
+
+    def record_vspan(self, name: str, track: str, start: float, end: float,
+                     parent: int | None = None,
+                     args: dict[str, Any] | None = None) -> int | None:
+        """Record a completed virtual-time span (no-op if spans are off)."""
+        if not self.record_spans:
+            return None
+        return self.spans.record(name, track, start, end, parent=parent,
+                                 args=args)
+
+    def record_rank_span(self, name: str, rank: int, start: float, end: float,
+                         parent: int | None = None,
+                         args: dict[str, Any] | None = None) -> int | None:
+        """Record a virtual-time span on the canonical per-rank track."""
+        if not self.record_spans:
+            return None
+        return self.spans.record(name, rank_track(rank), start, end,
+                                 parent=parent, args=args)
+
+    def wall_span(self, name: str, track: str = "harness",
+                  args: dict[str, Any] | None = None):
+        """Context manager recording a wall-clock span (nulled if spans off)."""
+        if not self.record_spans:
+            return _NULL_CM
+        return self.spans.wall_span(name, track, args=args)
+
+    # -- engine stats --------------------------------------------------- #
+
+    def absorb_engine_stats(self, stats: Any) -> None:
+        """Merge one completed engine run's stats into this run's aggregate."""
+        agg = self.engine_stats
+        if agg is None:
+            self.engine_stats = agg = type(stats)()
+        agg.merge(stats)
+
+
+class NullObsContext:
+    """Disabled-mode stand-in: same surface, every method a cheap no-op."""
+
+    __slots__ = ()
+
+    run_id = ""
+    meta: dict[str, Any] = {}
+    enabled = False
+    record_spans = False
+    metrics: NullMetricsRegistry = NULL_METRICS
+    spans = None
+    engine_stats = None
+
+    def record_vspan(self, name: str, track: str, start: float, end: float,
+                     parent: int | None = None,
+                     args: dict[str, Any] | None = None) -> None:
+        return None
+
+    def record_rank_span(self, name: str, rank: int, start: float, end: float,
+                         parent: int | None = None,
+                         args: dict[str, Any] | None = None) -> None:
+        return None
+
+    def wall_span(self, name: str, track: str = "harness",
+                  args: dict[str, Any] | None = None):
+        return _NULL_CM
+
+    def absorb_engine_stats(self, stats: Any) -> None:
+        return None
+
+
+NULL_CONTEXT = NullObsContext()
+
+_current: ContextVar[ObsContext | NullObsContext] = ContextVar(
+    "repro_obs_context", default=NULL_CONTEXT
+)
+
+
+def current() -> ObsContext | NullObsContext:
+    """The active observability context (:data:`NULL_CONTEXT` when none)."""
+    return _current.get()
+
+
+@contextmanager
+def session(run_id: str | None = None, meta: dict[str, Any] | None = None,
+            record_spans: bool = True,
+            span_capacity: int = DEFAULT_CAPACITY) -> Iterator[ObsContext]:
+    """Open a run-scoped observability session for a ``with`` block.
+
+    ``run_id`` defaults to the deterministic ID of ``meta`` (see
+    :mod:`repro.obs.runid`), so re-running the same configuration stamps
+    its artifacts identically.  Sessions nest: the inner session shadows
+    the outer for its ``with`` block, then the outer resumes.
+    """
+    meta = dict(meta or {})
+    if run_id is None:
+        run_id = make_run_id(meta, prefix="run")
+    ctx = ObsContext(run_id, meta, record_spans=record_spans,
+                     span_capacity=span_capacity)
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)
+
+
+# --------------------------------------------------------------------------- #
+# Engine-stats reporting (run-scoped + legacy process-wide accumulator)
+# --------------------------------------------------------------------------- #
+
+_process_engine_aggregate: Any = None
+
+
+def absorb_engine_stats(stats: Any) -> None:
+    """Called by ``Engine.run`` after every run with that run's stats.
+
+    Merges into the active session's run-scoped aggregate (if a session is
+    open) and into the legacy process-wide accumulator (if one is enabled) —
+    the two are independent consumers of the same report.
+    """
+    ctx = _current.get()
+    if ctx.enabled:
+        ctx.absorb_engine_stats(stats)
+    agg = _process_engine_aggregate
+    if agg is not None:
+        agg.merge(stats)
+
+
+def enable_process_engine_aggregation(accumulator: Any) -> Any:
+    """Install ``accumulator`` as the process-wide engine-stats target.
+
+    Back-compat shim for ``repro.sim.engine.enable_stats_aggregation``;
+    prefer :func:`session`, whose aggregate is run-scoped.
+    """
+    global _process_engine_aggregate
+    _process_engine_aggregate = accumulator
+    return accumulator
+
+
+def disable_process_engine_aggregation() -> None:
+    """Drop the process-wide engine-stats accumulator."""
+    global _process_engine_aggregate
+    _process_engine_aggregate = None
+
+
+__all__ = [
+    "ObsContext",
+    "NullObsContext",
+    "NULL_CONTEXT",
+    "current",
+    "session",
+    "absorb_engine_stats",
+    "enable_process_engine_aggregation",
+    "disable_process_engine_aggregation",
+]

@@ -1,0 +1,288 @@
+"""Run-scoped metrics: counters, gauges, and fixed log2-bucket histograms.
+
+One :class:`MetricsRegistry` lives on each enabled
+:class:`~repro.obs.context.ObsContext`.  Layers increment metrics through
+the registry; nothing is global, so concurrent runs never share counters.
+
+Disabled mode
+-------------
+When no observability session is active, code paths obtain the module-level
+null singletons (:data:`NULL_COUNTER`, :data:`NULL_GAUGE`,
+:data:`NULL_HISTOGRAM`) through :class:`NullMetricsRegistry`.  Every method
+on them is a no-op returning the singleton itself — no allocation, no
+bookkeeping — so instrumentation costs one attribute check on hot paths.
+
+Histograms
+----------
+Buckets are *fixed* powers of two: an observation ``v > 0`` lands in the
+bucket whose key is ``floor(log2(v))``, clamped to ``[MIN_EXP, MAX_EXP]``
+(covering ~1 ns .. ~100 days when observing seconds).  Fixed boundaries mean
+histograms from different runs and different processes merge by plain
+bucket-wise addition, and the export format is self-describing
+(``"2^-20"`` style keys).  Zero and negative observations are counted
+separately (they have no log2 bucket).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+#: Clamp range for histogram bucket exponents: 2**-30 ~ 1 ns, 2**23 ~ 97 days.
+MIN_EXP = -30
+MAX_EXP = 23
+
+
+def bucket_exp(value: float) -> int:
+    """The fixed log2 bucket key for a positive observation."""
+    # frexp(v) -> (m, e) with 0.5 <= m < 1 and v = m * 2**e, so
+    # floor(log2(v)) == e - 1 exactly (no float-log rounding issues at
+    # bucket boundaries: bucket_exp(2**k) == k bit-for-bit).
+    e = math.frexp(value)[1] - 1
+    if e < MIN_EXP:
+        return MIN_EXP
+    if e > MAX_EXP:
+        return MAX_EXP
+    return e
+
+
+class Counter:
+    """Monotonically increasing count (int or float increments)."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int | float = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """Last-write-wins value with a high-water mark."""
+
+    __slots__ = ("name", "value", "peak")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.peak: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value, "peak": self.peak}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value} peak={self.peak}>"
+
+
+class Histogram:
+    """Fixed log2-bucket histogram of non-negative observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "zeros", "buckets")
+
+    kind = "histogram"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: Observations <= 0 (no log2 bucket exists for them).
+        self.zeros = 0
+        #: bucket exponent -> count; an observation v lands in
+        #: floor(log2(v)) clamped to [MIN_EXP, MAX_EXP].
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        e = bucket_exp(value)
+        self.buckets[e] = self.buckets.get(e, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "zeros": self.zeros,
+            "buckets": {f"2^{e}": n for e, n in sorted(self.buckets.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"
+
+
+class MetricsRegistry:
+    """Name-keyed store of metrics for one observability session.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return the
+    existing instrument afterwards; asking for an existing name with a
+    different kind raises ``ValueError`` (it is always a bug).
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str):
+        m = self._metrics.get(name)
+        if m is None:
+            m = cls(name)
+            self._metrics[name] = m
+        elif type(m) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {m.kind}, "
+                f"requested {cls.kind}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(Counter, name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(Gauge, name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(Histogram, name)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The instrument registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as plain JSON-serializable dicts, sorted by name."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+
+# --------------------------------------------------------------------------- #
+# Disabled-mode stubs: module-level singletons, every method a no-op.
+# --------------------------------------------------------------------------- #
+
+class _NullCounter:
+    __slots__ = ()
+    kind = "counter"
+    value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        pass
+
+    def snapshot(self) -> dict:  # pragma: no cover - never exported
+        return {}
+
+
+class _NullGauge:
+    __slots__ = ()
+    kind = "gauge"
+    value = 0.0
+    peak = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:  # pragma: no cover - never exported
+        return {}
+
+
+class _NullHistogram:
+    __slots__ = ()
+    kind = "histogram"
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> dict:  # pragma: no cover - never exported
+        return {}
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricsRegistry:
+    """Registry stub handed out by the disabled context: always returns the
+    shared null instruments, never allocates, never records."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullCounter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return NULL_HISTOGRAM
+
+    def get(self, name: str) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(())
+
+    def snapshot(self) -> dict[str, dict]:
+        return {}
+
+
+NULL_METRICS = NullMetricsRegistry()
+
+
+__all__ = [
+    "MIN_EXP",
+    "MAX_EXP",
+    "bucket_exp",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
+]

@@ -1,0 +1,40 @@
+"""Deterministic run identifiers.
+
+A run ID names one observed execution — a CLI invocation, a profile cell, a
+campaign — and stamps every exported artifact (Perfetto trace, JSONL event
+stream, metrics snapshot) so artifacts from the same run can be correlated
+and artifacts from *re-runs of the same configuration* compare equal.
+
+IDs are therefore content-derived, not random: the SHA-256 of the canonical
+JSON of the run's describing payload (command, arguments, machine, seed —
+whatever the caller considers identity-defining), truncated to 12 hex
+characters.  The same configuration always maps to the same ID; any change
+to it yields a different one.  Wall-clock time deliberately plays no part.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+#: Length (hex characters) of a run ID.  12 hex chars = 48 bits — ample for
+#: distinguishing runs while staying readable in filenames and logs.
+RUN_ID_LEN = 12
+
+
+def make_run_id(payload: Any, prefix: str = "") -> str:
+    """Derive the deterministic run ID for ``payload``.
+
+    ``payload`` must be JSON-serializable (it is canonicalized with sorted
+    keys and compact separators, so dict ordering does not matter).  An
+    optional ``prefix`` is prepended with a dash for human readability, e.g.
+    ``profile-3fa9c1d2e4b5``.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:RUN_ID_LEN]
+    return f"{prefix}-{digest}" if prefix else digest
+
+
+__all__ = ["RUN_ID_LEN", "make_run_id"]

@@ -1,4 +1,4 @@
-"""Plain-text rendering of experiment results (tables, grids, bars)."""
+"""Plain-text rendering of experiment results (tables, grids, bars, timelines)."""
 
 from repro.reporting.ascii import (
     render_bars,
@@ -7,12 +7,14 @@ from repro.reporting.ascii import (
     render_table,
 )
 from repro.reporting.export import grid_to_csv, results_to_json, to_jsonable
+from repro.reporting.timeline import render_timeline
 
 __all__ = [
     "render_table",
     "render_grid",
     "render_bars",
     "render_series",
+    "render_timeline",
     "grid_to_csv",
     "results_to_json",
     "to_jsonable",

@@ -81,6 +81,12 @@ from time import perf_counter
 from typing import Any, Iterator
 
 from repro.errors import DeadlockError, ProtocolError, SimulationError
+from repro.obs.context import absorb_engine_stats as _absorb_engine_stats
+from repro.obs.context import current as _obs_current
+from repro.obs.context import (
+    disable_process_engine_aggregation,
+    enable_process_engine_aggregation,
+)
 from repro.sim.network import NetworkModel
 
 ANY_SOURCE = -1
@@ -187,27 +193,25 @@ class EngineStats:
         return f"<EngineStats {self.summary()}>"
 
 
-# Optional process-wide aggregation target (see enable_stats_aggregation).
-_aggregate: EngineStats | None = None
-
-
 def enable_stats_aggregation() -> EngineStats:
     """Aggregate the stats of every subsequent in-process ``Engine.run``.
 
     Returns the (initially zeroed) accumulator; each completed run merges
-    into it.  Used by ``repro-mpi --verbose`` to report engine totals for a
-    whole experiment.  Worker processes of a ``--jobs N`` fan-out aggregate
-    into their own interpreter, not the parent's.
+    into it.  Worker processes of a ``--jobs N`` fan-out aggregate into
+    their own interpreter, not the parent's.
+
+    Back-compat shim: the accumulator now lives in :mod:`repro.obs.context`
+    as the *process-wide* target.  New code should open a run-scoped
+    ``repro.obs.session()`` instead — its ``engine_stats`` aggregate cannot
+    be shared (or clobbered) by concurrent runs, which this process-wide
+    singleton can.
     """
-    global _aggregate
-    _aggregate = EngineStats()
-    return _aggregate
+    return enable_process_engine_aggregation(EngineStats())
 
 
 def disable_stats_aggregation() -> None:
     """Stop aggregating engine stats (drops the current accumulator)."""
-    global _aggregate
-    _aggregate = None
+    disable_process_engine_aggregation()
 
 
 class Request:
@@ -300,6 +304,7 @@ class _Fiber:
         "proc",
         "gen",
         "now",
+        "t0",
         "waiting",
         "wait_any",
         "done",
@@ -318,6 +323,8 @@ class _Fiber:
         self.proc = proc
         self.gen = gen
         self.now = now
+        # Creation timestamp (start of the fiber's virtual-time span).
+        self.t0 = now
         # Requests this fiber is currently blocked on (None when runnable).
         self.waiting: list[Request] | None = None
         # True when blocked on wait_any (first completion resumes).
@@ -431,6 +438,11 @@ class Engine:
         self._node_rx_free = [0.0] * network.num_nodes
         self._node_of = network.node_of
         self._group_of = network.group_of
+        # Run-scoped observability (repro.obs).  Captured once at engine
+        # construction; None unless a session with span recording is open,
+        # so the disabled-mode cost on fiber completion is one None check.
+        octx = _obs_current()
+        self._obs = octx if (octx.enabled and octx.record_spans) else None
 
     # ------------------------------------------------------------------ #
     # Event plumbing
@@ -567,8 +579,9 @@ class Engine:
             stats.events_rendezvous += n_rndv
             stats.wall_seconds += perf_counter() - started
             stats.runs += 1
-            if _aggregate is not None:
-                _aggregate.merge(stats)
+            # Reports into the run-scoped obs session (if any) and the
+            # legacy process-wide accumulator (if enabled).
+            _absorb_engine_stats(stats)
         blocked = [p.rank for p in self.procs if not p.done]
         if blocked:
             raise DeadlockError(blocked)
@@ -591,6 +604,10 @@ class Engine:
             fiber.done = True
             fiber.result = stop.value
             fiber.complete_time = fiber.now
+            obs = self._obs
+            if obs is not None:
+                name = "program" if fiber is fiber.proc.fibers[0] else "fiber"
+                obs.record_rank_span(name, fiber.rank, fiber.t0, fiber.now)
             # Joiners (other fibers of this rank) may be waiting on us.
             self._notify_waiters(fiber)
             return

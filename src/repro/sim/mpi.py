@@ -29,6 +29,7 @@ from typing import Any, Callable, Generator, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.obs.context import current as _obs_current
 from repro.sim.engine import ANY_SOURCE, ANY_TAG, Engine, EngineStats, Request
 from repro.sim.network import NetworkModel, NetworkParams
 from repro.sim.noise import NoiseModel
@@ -270,7 +271,9 @@ def run_processes(
     for rank, ctx in enumerate(contexts):
         rank_fn = fn[rank] if isinstance(fn, (list, tuple)) else fn
         engine.set_process(rank, rank_fn(ctx))
-    final = engine.run()
+    with _obs_current().wall_span("sim.run", track="sim",
+                                  args={"ranks": engine.num_procs}):
+        final = engine.run()
     return RunResult(
         final_time=final,
         rank_times=[p.now for p in engine.procs],

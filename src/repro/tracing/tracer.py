@@ -14,6 +14,7 @@ from typing import Iterable
 
 from repro.errors import ConfigurationError
 from repro.collectives import CollArgs, run_collective
+from repro.obs.context import current as _obs_current
 from repro.sim.mpi import ProcContext
 
 
@@ -69,6 +70,7 @@ class CollectiveTracer:
     def record(self, collective: str, sequence: int, rank: int,
                arrival: float, exit: float) -> None:
         self.events.append(TraceEvent(collective, sequence, rank, arrival, exit))
+        _obs_current().metrics.counter("tracer.events").inc()
 
     def traced(self, ctx: ProcContext, collective: str, algorithm: str,
                args: CollArgs, data):

@@ -1,0 +1,160 @@
+"""Tests for the Perfetto and JSONL exporters (round-trips, validation)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import TraceFormatError
+from repro.obs.context import session
+from repro.obs.export import (
+    export_jsonl,
+    export_metrics,
+    export_perfetto,
+    load_perfetto,
+    metrics_payload,
+    rank_tracks,
+    read_jsonl,
+    trace_events,
+)
+
+
+def _populated_session():
+    """A closed session with spans on ranks 0,2,10, a wall span, metrics."""
+    with session(run_id="run-test", meta={"command": "unit"}) as octx:
+        octx.record_rank_span("coll", 0, 0.0, 1e-3)
+        octx.record_rank_span("coll", 2, 1e-4, 1.1e-3)
+        octx.record_rank_span("coll", 10, 2e-4, 1.2e-3)
+        with octx.wall_span("stage", args={"cells": 3}):
+            pass
+        octx.metrics.counter("c").inc(2)
+        octx.metrics.histogram("h").observe(0.5)
+    return octx
+
+
+class TestPerfetto:
+    def test_round_trip_and_rank_tracks(self, tmp_path):
+        octx = _populated_session()
+        path = export_perfetto(tmp_path / "trace.json", octx)
+        trace = load_perfetto(path)
+        # Natural ordering: rank 2 before rank 10.
+        assert rank_tracks(trace) == ["rank 0", "rank 2", "rank 10"]
+        assert trace["otherData"]["run_id"] == "run-test"
+        assert trace["otherData"]["command"] == "unit"
+        assert trace["otherData"]["dropped_spans"] == 0
+
+    def test_complete_events_use_microseconds(self):
+        octx = _populated_session()
+        xs = [e for e in trace_events(octx) if e["ph"] == "X"]
+        coll0 = next(e for e in xs if e["name"] == "coll" and e["ts"] == 0.0)
+        assert coll0["dur"] == pytest.approx(1e-3 * 1e6)
+        assert coll0["cat"] == "virtual"
+        assert coll0["pid"] == 1
+        wall = next(e for e in xs if e["name"] == "stage")
+        assert wall["pid"] == 2
+        assert wall["args"]["cells"] == 3
+
+    def test_span_links_ride_in_args(self):
+        with session() as octx:
+            parent = octx.record_rank_span("outer", 0, 0.0, 2.0)
+            octx.record_rank_span("inner", 0, 0.5, 1.0, parent=parent)
+        xs = {e["name"]: e for e in trace_events(octx) if e["ph"] == "X"}
+        assert xs["inner"]["args"]["parent_id"] == parent
+        assert xs["outer"]["args"]["span_id"] == parent
+
+    def test_load_rejects_non_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(TraceFormatError):
+            load_perfetto(bad)
+
+    def test_load_rejects_missing_trace_events(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(TraceFormatError):
+            load_perfetto(bad)
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        octx = _populated_session()
+        path = export_jsonl(tmp_path / "obs.jsonl", octx)
+        back = read_jsonl(path)
+        assert back["header"]["run_id"] == "run-test"
+        assert back["header"]["meta"] == {"command": "unit"}
+        assert len(back["spans"]) == 4
+        assert back["metrics"]["c"]["value"] == 2
+        assert back["metrics"]["h"]["count"] == 1
+        assert back["end"]["spans"] == 4
+        assert back["end"]["dropped"] == 0
+        # Spans round-trip exactly (JSON floats are lossless for these).
+        original = [s.to_dict() for s in octx.spans]
+        assert back["spans"] == original
+
+    def test_truncated_stream_detected(self, tmp_path):
+        octx = _populated_session()
+        path = export_jsonl(tmp_path / "obs.jsonl", octx)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the end record
+        with pytest.raises(TraceFormatError):
+            read_jsonl(path)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        path.write_text(json.dumps({"magic": "other"}) + "\n")
+        with pytest.raises(TraceFormatError):
+            read_jsonl(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceFormatError):
+            read_jsonl(path)
+
+
+class TestMetricsExport:
+    def test_payload_shape(self, tmp_path):
+        octx = _populated_session()
+        path = export_metrics(tmp_path / "metrics.json", octx)
+        payload = json.loads(path.read_text())
+        assert payload == metrics_payload(octx)
+        assert payload["run_id"] == "run-test"
+        assert payload["metrics"]["c"]["value"] == 2
+        assert payload["spans"] == {"recorded": 4, "dropped": 0}
+        assert payload["engine"] is None
+
+    def test_engine_stats_included_when_present(self, tmp_path):
+        from repro.sim.engine import EngineStats
+
+        with session() as octx:
+            s = EngineStats()
+            s.runs = 1
+            s.events_start = 5
+            octx.absorb_engine_stats(s)
+        payload = metrics_payload(octx)
+        assert payload["engine"]["runs"] == 1
+        assert payload["engine"]["events_total"] == 5
+
+
+class TestDroppedSpanAccounting:
+    def test_exports_surface_dropped_count(self, tmp_path):
+        with session(span_capacity=2) as octx:
+            for i in range(5):
+                octx.record_rank_span("s", 0, float(i), float(i + 1))
+        trace = load_perfetto(export_perfetto(tmp_path / "t.json", octx))
+        assert trace["otherData"]["dropped_spans"] == 3
+        back = read_jsonl(export_jsonl(tmp_path / "t.jsonl", octx))
+        assert back["end"] == {"spans": 2, "dropped": 3}
+
+
+class TestRunIdStamping:
+    def test_same_config_same_artifact_ids(self, tmp_path):
+        paths = []
+        for name in ("a.json", "b.json"):
+            with obs.session(meta={"command": "profile", "cell": "x"}) as octx:
+                octx.record_rank_span("s", 0, 0.0, 1.0)
+            paths.append(export_perfetto(tmp_path / name, octx))
+        ids = [load_perfetto(p)["otherData"]["run_id"] for p in paths]
+        assert ids[0] == ids[1]

@@ -14,6 +14,7 @@ from repro.reporting import (
     render_grid,
     render_series,
     render_table,
+    render_timeline,
     results_to_json,
 )
 
@@ -93,3 +94,60 @@ class TestExport:
         rows = list(csv.reader(open(path)))
         assert rows[0] == ["pattern", "a", "b"]
         assert rows[2] == ["r2", "3", ""]
+
+
+class TestRenderTimeline:
+    def _recorder(self):
+        from repro.obs.spans import SpanRecorder
+
+        rec = SpanRecorder()
+        rec.record("wait", "rank 0", 0.0, 0.0)   # zero-length, clamps to 1 col
+        rec.record("coll", "rank 0", 0.0, 1.0)
+        rec.record("wait", "rank 1", 0.0, 0.5)
+        rec.record("coll", "rank 1", 0.5, 1.0)
+        return rec
+
+    def test_rows_symbols_and_legend(self):
+        text = render_timeline(self._recorder(), width=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("virtual timeline")
+        assert lines[1] == "rank 0  |==========|"
+        assert lines[2] == "rank 1  |#####=====|"
+        assert "# wait" in text and "= coll" in text
+
+    def test_accepts_obs_context(self):
+        from repro.obs.context import session
+
+        with session() as octx:
+            octx.record_rank_span("s", 0, 0.0, 1.0)
+        assert "rank 0" in render_timeline(octx, width=8)
+
+    def test_natural_track_order(self):
+        from repro.obs.spans import SpanRecorder
+
+        rec = SpanRecorder()
+        for rank in (10, 2, 0):
+            rec.record("s", f"rank {rank}", 0.0, 1.0)
+        lines = render_timeline(rec, width=8).splitlines()
+        assert [ln.split("|")[0].strip() for ln in lines[1:4]] == \
+            ["rank 0", "rank 2", "rank 10"]
+
+    def test_name_filter_and_track_restriction(self):
+        text = render_timeline(self._recorder(), width=10, names={"coll"},
+                               tracks=["rank 1"])
+        assert "rank 0" not in text
+        assert "wait" not in text
+
+    def test_wall_domain_selected_explicitly(self):
+        from repro.obs.spans import SpanRecorder
+
+        rec = SpanRecorder()
+        with rec.wall_span("stage"):
+            pass
+        assert "(no spans)" in render_timeline(rec)  # virtual: nothing
+        assert "stage" in render_timeline(rec, domain="wall")
+
+    def test_empty_and_narrow_rejected(self):
+        assert "(no spans)" in render_timeline([])
+        with pytest.raises(ConfigurationError):
+            render_timeline([], width=4)
