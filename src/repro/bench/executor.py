@@ -37,12 +37,13 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro._version import __version__
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TraceFormatError
 from repro.obs.context import current as _obs_current
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bench.micro import MicroBenchmark
     from repro.bench.results import BenchResult
+    from repro.obs.collect import CellTelemetry
     from repro.patterns.generator import ArrivalPattern
 
 #: Version stamp mixed into every cache key.  Bump the package version (or
@@ -231,13 +232,40 @@ def run_cell(spec: CellSpec) -> "BenchResult":
     return spec.run()
 
 
-def _run_cell_timed(spec: CellSpec) -> tuple["BenchResult", float]:
-    # CPU time, not wall time: on an oversubscribed machine a worker's wall
-    # clock includes time spent descheduled, which would inflate the
-    # serial-equivalent estimate the speedup counter is based on.
+def _run_cell_job(
+    job: tuple[CellSpec, tuple[bool, bool, bool]],
+) -> tuple["BenchResult", float, "CellTelemetry | None"]:
+    """Run one cell, optionally under a fresh observability session.
+
+    Module-level (picklable by reference); the same function serves the
+    inline path and pool workers, so a cell's telemetry payload is
+    identical however it executed.  The flags mirror the parent session
+    (``collect``, ``record_spans``, ``record_messages``); with ``collect``
+    off this is exactly the bare timed run.
+
+    CPU time, not wall time: on an oversubscribed machine a worker's wall
+    clock includes time spent descheduled, which would inflate the
+    serial-equivalent estimate the speedup counter is based on.
+    """
+    spec, (collect, record_spans, record_messages) = job
+    if not collect:
+        started = time.process_time()
+        result = run_cell(spec)
+        return result, time.process_time() - started, None
+
+    from repro.obs.collect import capture_telemetry
+    from repro.obs.context import session
+    from repro.obs.runid import make_run_id
+
     started = time.process_time()
-    result = run_cell(spec)
-    return result, time.process_time() - started
+    with session(run_id=make_run_id({"cell": spec.cache_key()}, prefix="cell"),
+                 meta={"collective": spec.collective,
+                       "algorithm": spec.algorithm},
+                 record_spans=record_spans,
+                 record_messages=record_messages) as cctx:
+        result = run_cell(spec)
+        telemetry = capture_telemetry(cctx)
+    return result, time.process_time() - started, telemetry
 
 
 # --------------------------------------------------------------------------- #
@@ -266,7 +294,16 @@ class ResultCache:
         return self.cache_dir / key[:2] / f"{key}.json"
 
     def get(self, spec: CellSpec) -> "BenchResult | None":
+        record = self.get_record(spec)
+        return record[0] if record is not None else None
+
+    def get_record(
+        self, spec: CellSpec
+    ) -> "tuple[BenchResult, CellTelemetry | None] | None":
+        """The cached result plus its stored telemetry payload (if the run
+        that wrote the record had an observability session open)."""
         from repro.bench.results import BenchResult
+        from repro.obs.collect import CellTelemetry
 
         path = self.path_for(spec.cache_key())
         if not path.exists():
@@ -275,11 +312,15 @@ class ResultCache:
             record = json.loads(path.read_text())
             if record.get("model_version") != MODEL_VERSION:
                 return None
-            return BenchResult.from_dict(record["result"])
-        except (ValueError, KeyError, ConfigurationError):
+            result = BenchResult.from_dict(record["result"])
+            raw = record.get("telemetry")
+            telemetry = CellTelemetry.from_dict(raw) if raw is not None else None
+            return result, telemetry
+        except (ValueError, KeyError, ConfigurationError, TraceFormatError):
             return None  # corrupt record: treat as a miss, re-simulate
 
-    def put(self, spec: CellSpec, result: "BenchResult") -> Path:
+    def put(self, spec: CellSpec, result: "BenchResult",
+            telemetry: "CellTelemetry | None" = None) -> Path:
         key = spec.cache_key()
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -288,6 +329,7 @@ class ResultCache:
             "key": key,
             "spec": spec.to_dict(),
             "result": result.to_dict(),
+            "telemetry": telemetry.to_dict() if telemetry is not None else None,
         }
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(record))
@@ -301,7 +343,16 @@ class ResultCache:
 
 @dataclass
 class ExecutorStats:
-    """Cache and timing counters accumulated over one executor's lifetime."""
+    """Cache and timing counters accumulated over one executor's lifetime.
+
+    Population caveat: ``cells`` counts *every* cell (hits included), but
+    ``cell_seconds`` / ``sim_seconds`` — and the ``executor.cell_seconds``
+    histogram they feed — cover **simulated cells only**: a cache hit never
+    runs a simulation, so it contributes no duration.  A hit-heavy run
+    therefore shows few-but-honest cell timings, not "fast cells"; read the
+    hit count (``hits``, or the ``executor.cache_hit_total`` counter)
+    alongside the histogram.
+    """
 
     cells: int = 0
     hits: int = 0
@@ -311,7 +362,8 @@ class ExecutorStats:
     sim_seconds: float = 0.0
     #: Wall-clock spent inside ``run_cells`` (parent-side seconds).
     wall_seconds: float = 0.0
-    #: Per-cell simulation durations, in completion order.
+    #: Per-cell simulation durations, in completion order (simulated cells
+    #: only — cache hits do not appear; see the class docstring).
     cell_seconds: list[float] = field(default_factory=list)
 
     @property
@@ -367,17 +419,36 @@ class CellExecutor:
         specs: Sequence[CellSpec],
         progress: Callable[[CellSpec], None] | None = None,
     ) -> list["BenchResult"]:
-        """Execute every spec; returns results aligned with ``specs``."""
+        """Execute every spec; returns results aligned with ``specs``.
+
+        With an observability session open, every simulated cell — inline
+        or in a pool worker — runs under its own fresh session; its
+        telemetry payload ships back with the result and merges into the
+        parent session in spec order (see :mod:`repro.obs.collect`), and
+        cache hits replay the payload stored with the cached record.  The
+        merged trace is therefore identical for serial and ``--jobs N``
+        runs, and a warm cache run differs only by provenance tags.
+        """
+        from repro.obs.collect import CACHE_REPLAY, merge_telemetry
+
         started = time.perf_counter()
         octx = _obs_current()
+        collect = octx.enabled
+        flags = (collect, octx.record_spans, octx.record_messages)
+        # Cell indices stay unique (and deterministic) across batches.
+        cell_base = self.stats.cells
         with octx.wall_span("executor.run_cells", track="executor",
                             args={"cells": len(specs), "jobs": self.jobs}):
             results: list["BenchResult | None"] = [None] * len(specs)
+            telemetries: list["CellTelemetry | None"] = [None] * len(specs)
             pending: list[int] = []
             for i, spec in enumerate(specs):
-                cached = self.cache.get(spec) if self.cache is not None else None
-                if cached is not None:
-                    results[i] = cached
+                record = (self.cache.get_record(spec)
+                          if self.cache is not None else None)
+                if record is not None:
+                    results[i], stored = record
+                    if collect and stored is not None:
+                        telemetries[i] = stored.tagged(CACHE_REPLAY)
                     self.stats.hits += 1
                 else:
                     pending.append(i)
@@ -386,29 +457,53 @@ class CellExecutor:
             if len(pending) > 1 and self.jobs > 1:
                 workers = min(self.jobs, len(pending))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    for i, (result, seconds) in zip(
-                        pending, pool.map(_run_cell_timed, [specs[i] for i in pending])
+                    for i, (result, seconds, telemetry) in zip(
+                        pending,
+                        pool.map(_run_cell_job,
+                                 [(specs[i], flags) for i in pending]),
                     ):
-                        results[i] = self._record(specs[i], result, seconds)
+                        results[i] = self._record(specs[i], result, seconds,
+                                                  telemetry)
+                        telemetries[i] = telemetry
             else:
                 for i in pending:
-                    result, seconds = _run_cell_timed(specs[i])
-                    results[i] = self._record(specs[i], result, seconds)
+                    result, seconds, telemetry = _run_cell_job((specs[i], flags))
+                    results[i] = self._record(specs[i], result, seconds,
+                                              telemetry)
+                    telemetries[i] = telemetry
+            if collect:
+                # Deterministic merge: spec order, however cells executed.
+                for i, telemetry in enumerate(telemetries):
+                    if telemetry is None:
+                        continue
+                    spec = specs[i]
+                    merge_telemetry(
+                        octx, telemetry, cell=cell_base + i,
+                        name=f"{spec.collective}/{spec.algorithm}",
+                        args={
+                            "msg_bytes": spec.msg_bytes,
+                            "pattern": (spec.pattern.name
+                                        if spec.pattern is not None
+                                        else "no_delay"),
+                        },
+                    )
             self.stats.cells += len(specs)
             self.stats.wall_seconds += time.perf_counter() - started
-        if octx.enabled:
+        if collect:
             m = octx.metrics
             m.counter("executor.cells").inc(len(specs))
-            m.counter("executor.cache_hits").inc(len(specs) - len(pending))
+            m.counter("executor.cache_hit_total").inc(len(specs) - len(pending))
             m.counter("executor.simulated").inc(len(pending))
         return results  # type: ignore[return-value]
 
-    def _record(self, spec: CellSpec, result: "BenchResult",
-                seconds: float) -> "BenchResult":
+    def _record(self, spec: CellSpec, result: "BenchResult", seconds: float,
+                telemetry: "CellTelemetry | None" = None) -> "BenchResult":
         if self.cache is not None:
-            self.cache.put(spec, result)
+            self.cache.put(spec, result, telemetry)
         self.stats.simulated += 1
         self.stats.sim_seconds += seconds
+        # Simulated cells only: a cache hit has no simulation duration to
+        # observe (see ExecutorStats docstring).
         self.stats.cell_seconds.append(seconds)
         _obs_current().metrics.histogram("executor.cell_seconds").observe(seconds)
         return result

@@ -55,6 +55,26 @@ class BenchResult:
     def median_last_delay(self) -> float:
         return float(np.median(self.last_delays))
 
+    @property
+    def arrival_spreads(self) -> np.ndarray:
+        """Observed per-repetition arrival spread ``omega = max(a) - min(a)``."""
+        return np.array([t.arrival_spread for t in self.timings])
+
+    @property
+    def arrival_spread(self) -> float:
+        """Mean observed arrival spread over repetitions."""
+        return float(self.arrival_spreads.mean())
+
+    @property
+    def imbalance_factor(self) -> float:
+        """Mean per-repetition ``omega / d_hat`` — how large the arrival
+        imbalance is relative to the completion time the last arriver pays
+        (0 for a balanced pattern; matches
+        :meth:`repro.obs.analysis.TraceAnalysis.imbalance`)."""
+        ratios = [t.arrival_spread / t.last_delay
+                  for t in self.timings if t.last_delay > 0]
+        return float(np.mean(ratios)) if ratios else 0.0
+
     def summary(self, warmup: int = 0, winsor_fraction: float = 0.0,
                 confidence: float = 0.95):
         """ReproMPI-style robust summary of the last-delay series."""

@@ -42,8 +42,9 @@ def _add_common(parser: argparse.ArgumentParser, machine_default: str = "hydra",
                         "already-simulated cells")
     parser.add_argument("--verbose", action="store_true",
                         help="print aggregate engine statistics (events, match "
-                        "fast-path hits, events/s) to stderr when done; with "
-                        "--jobs > 1 only the parent process's runs are counted")
+                        "fast-path hits, events/s) to stderr when done; worker "
+                        "processes report their runs back, so --jobs > 1 "
+                        "counts everything")
     if obs_trace:
         parser.add_argument("--trace-out", default=None, metavar="PATH",
                             dest="obs_trace_out",
@@ -193,6 +194,28 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="timeline_width",
                        help="ASCII timeline body width in columns")
 
+    prep = sub.add_parser(
+        "report",
+        help="render a standalone HTML report (timeline, comm heatmap, "
+        "paper metrics) from an exported trace file",
+    )
+    prep.add_argument("trace",
+                      help="trace file: a --trace-out Perfetto JSON or a "
+                      "JSONL obs stream")
+    prep.add_argument("-o", "--out", default="report.html", metavar="PATH")
+    prep.add_argument("--title", default="", help="report heading")
+
+    pdiff = sub.add_parser(
+        "diff-metrics",
+        help="compare two metrics/analysis JSON snapshots; exit 1 when any "
+        "value drifts beyond the threshold (host-time metrics excluded)",
+    )
+    pdiff.add_argument("baseline", help="reference snapshot JSON")
+    pdiff.add_argument("candidate", help="snapshot JSON to check")
+    pdiff.add_argument("--threshold", type=float, default=0.05,
+                       metavar="FRACTION",
+                       help="relative drift tolerance (default: 0.05 = 5%%)")
+
     pall = sub.add_parser("all", help="run every figure and table")
     _add_common(pall)
 
@@ -291,13 +314,46 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import write_report
+
+    path = write_report(args.out, args.trace, title=args.title)
+    print(f"wrote report: {path}")
+    return 0
+
+
+def _cmd_diff_metrics(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.analysis import diff_payloads
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    candidate = json.loads(Path(args.candidate).read_text())
+    drifts = diff_payloads(baseline, candidate, threshold=args.threshold)
+    if not drifts:
+        print(f"metrics agree within {args.threshold:.1%}: "
+              f"{args.baseline} vs {args.candidate}")
+        return 0
+    print(f"{len(drifts)} metric(s) drifted beyond {args.threshold:.1%} "
+          f"({args.baseline} -> {args.candidate}):")
+    for d in drifts:
+        if d["change"] is None:
+            print(f"  {d['path']}: {d['direction']} "
+                  f"(baseline={d['baseline']}, candidate={d['candidate']})")
+        else:
+            print(f"  {d['path']}: {d['baseline']:g} -> {d['candidate']:g} "
+                  f"({d['change']:+.1%})")
+    return 1
+
+
 def _executor_summary(octx) -> str | None:
     """Cache hit-rate / per-cell timing line from the metrics registry."""
     m = octx.metrics
     cells = m.get("executor.cells")
     if cells is None or not cells.value:
         return None
-    hits = m.get("executor.cache_hits")
+    hits = m.get("executor.cache_hit_total")
     hit_n = hits.value if hits is not None else 0
     text = (f"executor: {cells.value} cells, {hit_n} cache hits "
             f"({int(hit_n / cells.value * 100)}% hit rate)")
@@ -417,6 +473,10 @@ def _dispatch(command: str, args: argparse.Namespace) -> int:
         print(tables.table2())
     elif command == "profile":
         return _cmd_profile(args)
+    elif command == "report":
+        return _cmd_report(args)
+    elif command == "diff-metrics":
+        return _cmd_diff_metrics(args)
     else:
         print(_run_one(command, args))
     return 0
@@ -438,8 +498,11 @@ def main(argv: list[str] | None = None) -> int:
     if hasattr(args, "obs_metrics_out"):
         from repro import obs
 
+        # profile is the deep-dive command: per-message spans feed the
+        # comm-volume matrices and critical-path sections of the report.
         with obs.session(meta={"command": command},
-                         record_spans=bool(trace_out)) as octx:
+                         record_spans=bool(trace_out),
+                         record_messages=(command == "profile")) as octx:
             code = _dispatch(command, args)
     else:
         code = _dispatch(command, args)
@@ -450,12 +513,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote trace: {obs.export_perfetto(trace_out, octx)}")
         if metrics_out:
             print(f"wrote metrics: {obs.export_metrics(metrics_out, octx)}")
+        overflow = obs.dropped_span_warning(octx)
+        if overflow is not None:
+            print(overflow, file=sys.stderr)
         summary = _executor_summary(octx)
         if summary is not None:
             print(f"  [{summary}]", file=sys.stderr)
         if verbose:
-            # Aggregated over every in-process Engine.run; sweeps fanned out
-            # with --jobs > 1 run in worker interpreters, not counted here.
+            # Aggregated over every Engine.run of this session — including
+            # worker-process runs, whose stats merge back with each cell's
+            # telemetry payload.
             agg = octx.engine_stats
             if agg is not None:
                 print(f"[engine: {agg.runs} runs, {agg.summary()}]",

@@ -10,7 +10,16 @@ Every layer of the stack plugs into one :class:`ObsContext` per run:
   for harness stages, in a bounded ring buffer (:mod:`repro.obs.spans`);
 * **exporters** — Chrome/Perfetto ``trace_event`` JSON, a JSONL event
   stream, and a metrics snapshot, all stamped with a deterministic run ID
-  (:mod:`repro.obs.export`, :mod:`repro.obs.runid`).
+  (:mod:`repro.obs.export`, :mod:`repro.obs.runid`);
+* **cross-process capture** — per-cell telemetry payloads that pool
+  workers and the result cache ship back to the parent session, merged
+  deterministically so ``--jobs N`` traces equal serial ones
+  (:mod:`repro.obs.collect`);
+* **analysis** — the paper's metrics (last delay ``d_hat``, arrival
+  spread/imbalance, comm-volume matrices, critical paths) computed
+  straight from a context or an exported trace file
+  (:mod:`repro.obs.analysis`), plus HTML reporting
+  (:mod:`repro.obs.report`).
 
 Usage::
 
@@ -36,7 +45,21 @@ from repro.obs.context import (
     enable_process_engine_aggregation,
     session,
 )
+from repro.obs.analysis import (
+    CollectiveCall,
+    CommMatrix,
+    CriticalPath,
+    HOST_TIME_METRICS,
+    TraceAnalysis,
+    diff_payloads,
+)
+from repro.obs.collect import (
+    CellTelemetry,
+    capture_telemetry,
+    merge_telemetry,
+)
 from repro.obs.export import (
+    dropped_span_warning,
     export_jsonl,
     export_metrics,
     export_perfetto,
@@ -63,6 +86,7 @@ from repro.obs.spans import (
     SpanRecorder,
     VIRTUAL,
     WALL,
+    msg_track,
     rank_track,
 )
 
@@ -92,6 +116,7 @@ __all__ = [
     "WALL",
     "DEFAULT_CAPACITY",
     "rank_track",
+    "msg_track",
     # run ids
     "RUN_ID_LEN",
     "make_run_id",
@@ -104,4 +129,16 @@ __all__ = [
     "read_jsonl",
     "load_perfetto",
     "rank_tracks",
+    "dropped_span_warning",
+    # cross-process capture
+    "CellTelemetry",
+    "capture_telemetry",
+    "merge_telemetry",
+    # analysis
+    "TraceAnalysis",
+    "CollectiveCall",
+    "CommMatrix",
+    "CriticalPath",
+    "HOST_TIME_METRICS",
+    "diff_payloads",
 ]

@@ -48,21 +48,33 @@ _NULL_CM = nullcontext(None)
 class ObsContext:
     """Container for one run's observability state (enabled mode)."""
 
-    __slots__ = ("run_id", "meta", "enabled", "record_spans", "metrics",
-                 "spans", "engine_stats")
+    __slots__ = ("run_id", "meta", "enabled", "record_spans",
+                 "record_messages", "metrics", "spans", "engine_stats",
+                 "merge_cursor")
 
     def __init__(self, run_id: str, meta: dict[str, Any],
                  record_spans: bool = True,
+                 record_messages: bool = False,
                  span_capacity: int = DEFAULT_CAPACITY) -> None:
         self.run_id = run_id
         self.meta = meta
         self.enabled = True
         self.record_spans = record_spans
+        #: When True (and spans are on), the engine records one span per
+        #: delivered message (sender post to receiver completion) — the raw
+        #: material for comm-volume matrices and critical-path extraction
+        #: in :mod:`repro.obs.analysis`.  Off by default: per-message spans
+        #: are O(messages), which a large sweep would drown in.
+        self.record_messages = record_messages
         self.metrics: MetricsRegistry = MetricsRegistry()
         self.spans = SpanRecorder(capacity=span_capacity)
         #: Run-scoped EngineStats aggregate (lazily typed off the first
         #: absorbed stats object, so this module never imports the engine).
         self.engine_stats: Any = None
+        #: Virtual-time offset for the next merged cell payload — owned by
+        #: :mod:`repro.obs.collect`, which tiles per-cell traces (each cell
+        #: restarts virtual time at zero) end to end along this cursor.
+        self.merge_cursor: float = 0.0
 
     # -- spans ---------------------------------------------------------- #
 
@@ -110,9 +122,11 @@ class NullObsContext:
     meta: dict[str, Any] = {}
     enabled = False
     record_spans = False
+    record_messages = False
     metrics: NullMetricsRegistry = NULL_METRICS
     spans = None
     engine_stats = None
+    merge_cursor = 0.0
 
     def record_vspan(self, name: str, track: str, start: float, end: float,
                      parent: int | None = None,
@@ -147,6 +161,7 @@ def current() -> ObsContext | NullObsContext:
 @contextmanager
 def session(run_id: str | None = None, meta: dict[str, Any] | None = None,
             record_spans: bool = True,
+            record_messages: bool = False,
             span_capacity: int = DEFAULT_CAPACITY) -> Iterator[ObsContext]:
     """Open a run-scoped observability session for a ``with`` block.
 
@@ -159,6 +174,7 @@ def session(run_id: str | None = None, meta: dict[str, Any] | None = None,
     if run_id is None:
         run_id = make_run_id(meta, prefix="run")
     ctx = ObsContext(run_id, meta, record_spans=record_spans,
+                     record_messages=record_messages,
                      span_capacity=span_capacity)
     token = _current.set(ctx)
     try:

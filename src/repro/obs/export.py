@@ -242,6 +242,24 @@ def load_perfetto(path: str | Path) -> dict:
     return payload
 
 
+def dropped_span_warning(ctx: "ObsContext") -> str | None:
+    """A loud one-line warning when the session's span ring overflowed.
+
+    Returns ``None`` when nothing was dropped.  Exporter callers (the CLI,
+    the HTML report) surface this so a truncated trace is never mistaken
+    for a complete one — every analysis derived from it may be missing the
+    *oldest* spans.
+    """
+    spans = ctx.spans
+    if spans is None or spans.dropped == 0:
+        return None
+    return (
+        f"WARNING: span buffer overflowed: {spans.dropped} span(s) dropped "
+        f"(capacity {spans.capacity}); the trace and everything derived "
+        f"from it are incomplete — raise the span capacity or narrow the run"
+    )
+
+
 def rank_tracks(trace: dict) -> list[str]:
     """Names of the per-rank virtual-time tracks in a loaded Perfetto trace."""
     return sorted(
@@ -261,5 +279,6 @@ __all__ = [
     "export_jsonl",
     "read_jsonl",
     "load_perfetto",
+    "dropped_span_warning",
     "rank_tracks",
 ]

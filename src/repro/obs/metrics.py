@@ -63,6 +63,10 @@ class Counter:
     def snapshot(self) -> dict:
         return {"kind": self.kind, "value": self.value}
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another counter's :meth:`snapshot` into this one."""
+        self.value += snap["value"]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Counter {self.name}={self.value}>"
 
@@ -86,6 +90,16 @@ class Gauge:
 
     def snapshot(self) -> dict:
         return {"kind": self.kind, "value": self.value, "peak": self.peak}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another gauge's :meth:`snapshot` into this one.
+
+        Merged value is last-write-wins (the snapshot is "newer"); the peak
+        is the maximum over both.
+        """
+        self.value = snap["value"]
+        if snap["peak"] > self.peak:
+            self.peak = snap["peak"]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Gauge {self.name}={self.value} peak={self.peak}>"
@@ -139,6 +153,24 @@ class Histogram:
             "buckets": {f"2^{e}": n for e, n in sorted(self.buckets.items())},
         }
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Fixed bucket boundaries make this plain bucket-wise addition — the
+        property that lets worker-process histograms merge losslessly into
+        the parent session's registry.
+        """
+        self.count += snap["count"]
+        self.total += snap["sum"]
+        if snap["min"] is not None and snap["min"] < self.min:
+            self.min = snap["min"]
+        if snap["max"] is not None and snap["max"] > self.max:
+            self.max = snap["max"]
+        self.zeros += snap["zeros"]
+        for key, n in snap["buckets"].items():
+            e = int(key[2:])  # "2^-20" -> -20
+            self.buckets[e] = self.buckets.get(e, 0) + n
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.3g}>"
 
@@ -191,6 +223,21 @@ class MetricsRegistry:
         """All instruments as plain JSON-serializable dicts, sorted by name."""
         return {name: self._metrics[name].snapshot()
                 for name in sorted(self._metrics)}
+
+    def merge_snapshot(self, snapshot: dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this
+        registry, creating instruments as needed."""
+        by_kind = {"counter": self.counter, "gauge": self.gauge,
+                   "histogram": self.histogram}
+        for name in sorted(snapshot):
+            snap = snapshot[name]
+            try:
+                get = by_kind[snap["kind"]]
+            except KeyError:
+                raise ValueError(
+                    f"metric {name!r} has unknown kind {snap.get('kind')!r}"
+                ) from None
+            get(name).merge_snapshot(snap)
 
 
 # --------------------------------------------------------------------------- #

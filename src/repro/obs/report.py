@@ -1,0 +1,244 @@
+"""Self-contained HTML reports from a trace: one file, no external assets.
+
+:func:`render_report` turns a :class:`~repro.obs.analysis.TraceAnalysis`
+into a standalone HTML document — inline CSS, inline SVG, zero external
+requests — so a report uploaded as a CI artifact or mailed around renders
+anywhere.  Sections:
+
+* run header (run id, span accounting) with a loud banner when the span
+  ring dropped spans (the trace below is then incomplete);
+* per-call delay table: ``d_hat`` / ``d_star`` / arrival spread per
+  reconstructed collective call, plus the imbalance summary;
+* virtual-time timeline (rank tracks + merged-cell containers) rendered
+  with :func:`repro.reporting.svg.svg_timeline`;
+* comm-volume heatmap (bytes per src -> dst) when the trace carries
+  per-message spans;
+* critical-path attribution (compute / link / skew partition of
+  ``d_star``) for the longest call;
+* algorithm phase breakdown and the metric tables.
+
+``repro-mpi report <trace> -o report.html`` is the CLI entry point.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from pathlib import Path
+
+from repro.errors import TraceFormatError
+from repro.obs.analysis import HOST_TIME_METRICS, TraceAnalysis
+from repro.reporting.svg import svg_heatmap, svg_timeline
+from repro.utils.units import format_time
+
+_CSS = """
+body{font:14px/1.5 -apple-system,'Segoe UI',sans-serif;color:#1a1a1a;
+     max-width:1020px;margin:2em auto;padding:0 1em}
+h1{font-size:1.4em;border-bottom:2px solid #204a87;padding-bottom:.3em}
+h2{font-size:1.1em;margin-top:2em;color:#204a87}
+table{border-collapse:collapse;margin:.8em 0;font-size:13px}
+th,td{border:1px solid #ccc;padding:3px 9px;text-align:right;
+      font-variant-numeric:tabular-nums}
+th{background:#f0f3f7;text-align:center}
+td.l,th.l{text-align:left}
+.meta{color:#555;font-size:13px}
+.warn{background:#fbe3e4;border:1px solid #c0392b;color:#8a1f11;
+      padding:.6em 1em;border-radius:4px;margin:1em 0;font-weight:600}
+.ok{color:#2d7d46}
+figure{margin:1em 0;overflow-x:auto}
+"""
+
+
+def _table(headers: list[str], rows: list[list[str]],
+           left_cols: int = 1) -> str:
+    """A small HTML table; the first ``left_cols`` columns left-align."""
+    def cell(tag: str, i: int, text: str) -> str:
+        cls = ' class="l"' if i < left_cols else ""
+        return f"<{tag}{cls}>{escape(text)}</{tag}>"
+
+    head = "".join(cell("th", i, h) for i, h in enumerate(headers))
+    body = "".join(
+        "<tr>" + "".join(cell("td", i, c) for i, c in enumerate(row)) + "</tr>"
+        for row in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def _timeline_section(analysis: TraceAnalysis) -> str:
+    intervals: dict[str, list[tuple[float, float, str]]] = {}
+    for s in analysis.spans:
+        track = s["track"]
+        if track.startswith(("rank ", "msgs ")) or track == "cells":
+            intervals.setdefault(track, []).append(
+                (s["start"], s["end"], s["name"])
+            )
+    if not intervals:
+        return "<p class='meta'>No virtual-time spans in this trace.</p>"
+
+    def order(track: str) -> tuple:
+        kind, _, num = track.partition(" ")
+        prio = {"cells": 0, "rank": 1, "msgs": 2}.get(kind, 3)
+        return (prio, int(num) if num.isdigit() else 0)
+
+    tracks = [(t, intervals[t]) for t in sorted(intervals, key=order)]
+    return f"<figure>{svg_timeline(tracks)}</figure>"
+
+
+def _comm_section(analysis: TraceAnalysis) -> str:
+    matrix = analysis.comm_matrix()
+    if not matrix.ranks:
+        return ("<p class='meta'>No per-message spans — record the trace "
+                "with message recording on (<code>repro-mpi profile</code> "
+                "does) to get comm-volume matrices.</p>")
+    labels = [str(r) for r in matrix.ranks]
+    values = [[matrix.bytes_sent.get(s, {}).get(d, 0.0) for d in matrix.ranks]
+              for s in matrix.ranks]
+    figure = svg_heatmap(values, labels, labels,
+                         title="bytes delivered, src (rows) -> dst (cols)")
+    return (
+        f"<p class='meta'>{matrix.total_messages} messages, "
+        f"{matrix.total_bytes:g} bytes delivered.</p>"
+        f"<figure>{figure}</figure>"
+    )
+
+
+def _critical_path_section(analysis: TraceAnalysis) -> str:
+    if not analysis.calls() or not analysis.message_spans():
+        return ("<p class='meta'>Critical-path extraction needs per-message "
+                "spans and at least one collective call.</p>")
+    cp = analysis.critical_path()
+    total = cp.total or 1.0
+    rows = [
+        ["compute", format_time(cp.compute), f"{cp.compute / total:.1%}"],
+        ["link", format_time(cp.link), f"{cp.link / total:.1%}"],
+        ["skew", format_time(cp.skew), f"{cp.skew / total:.1%}"],
+        ["total (d*)", format_time(cp.total), "100.0%"],
+    ]
+    call = cp.call
+    where = f"cell {call.cell}, rep {call.rep}" if call.cell is not None \
+        else f"rep {call.rep}"
+    return (
+        f"<p class='meta'>Longest call: <code>{escape(call.name)}</code> "
+        f"({escape(where)}), {len(cp.steps)} path steps.</p>"
+        + _table(["attribution", "time", "share"], rows)
+    )
+
+
+def _metrics_section(analysis: TraceAnalysis) -> str:
+    if not analysis.metrics:
+        return "<p class='meta'>No metrics in this trace.</p>"
+    simple: list[list[str]] = []
+    histos: list[list[str]] = []
+    for name in sorted(analysis.metrics):
+        snap = analysis.metrics[name]
+        kind = snap.get("kind")
+        note = " (host time)" if name in HOST_TIME_METRICS else ""
+        if kind == "histogram":
+            histos.append([
+                name + note, str(snap["count"]), f"{snap['mean']:.3g}",
+                "-" if snap["min"] is None else f"{snap['min']:.3g}",
+                "-" if snap["max"] is None else f"{snap['max']:.3g}",
+            ])
+        elif kind == "gauge":
+            simple.append([name + note, "gauge",
+                           f"{snap['value']:g} (peak {snap['peak']:g})"])
+        else:
+            simple.append([name + note, str(kind), f"{snap.get('value', 0):g}"])
+    out = ""
+    if simple:
+        out += _table(["metric", "kind", "value"], simple, left_cols=2)
+    if histos:
+        out += _table(["histogram", "count", "mean", "min", "max"], histos)
+    return out
+
+
+def render_report(analysis: TraceAnalysis, title: str = "") -> str:
+    """The complete standalone HTML document for one analyzed trace."""
+    title = title or f"trace report — {analysis.run_id or 'unnamed run'}"
+    parts: list[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{escape(title)}</h1>",
+        f"<p class='meta'>run id: <code>{escape(analysis.run_id or '-')}"
+        f"</code> &middot; {len(analysis.spans)} virtual spans</p>",
+    ]
+    if analysis.dropped > 0:
+        parts.append(
+            f"<div class='warn'>&#9888; {analysis.dropped} span(s) were "
+            "dropped from the recording ring buffer — this trace and every "
+            "number below are incomplete. Re-record with a larger span "
+            "capacity.</div>"
+        )
+    calls = analysis.calls()
+    parts.append("<h2>Collective calls</h2>")
+    if calls:
+        rows = [
+            [c.name,
+             "-" if c.cell is None else str(c.cell),
+             str(c.rep), str(len(c.ranks)),
+             format_time(c.last_delay), format_time(c.total_delay),
+             format_time(c.arrival_spread)]
+            for c in calls
+        ]
+        parts.append(_table(
+            ["call", "cell", "rep", "ranks",
+             "d̂ (last delay)", "d* (total delay)",
+             "ω (arrival spread)"],
+            rows,
+        ))
+        imb = analysis.imbalance()
+        parts.append(
+            "<p class='meta'>imbalance: mean ω/d̂ = "
+            f"{imb['spread_over_last_delay']['mean']:.3f}, "
+            f"max = {imb['spread_over_last_delay']['max']:.3f}; "
+            f"mean ω = {format_time(imb['mean_arrival_spread'])}</p>"
+        )
+    else:
+        parts.append("<p class='meta'>No collective calls in this trace.</p>")
+    parts.append("<h2>Timeline</h2>")
+    parts.append(_timeline_section(analysis))
+    parts.append("<h2>Communication volume</h2>")
+    parts.append(_comm_section(analysis))
+    parts.append("<h2>Critical path</h2>")
+    parts.append(_critical_path_section(analysis))
+    phases = analysis.phase_breakdown()
+    parts.append("<h2>Phase breakdown</h2>")
+    if phases:
+        parts.append(_table(
+            ["phase", "spans", "rank-seconds"],
+            [[name, str(agg["count"]), format_time(agg["seconds"])]
+             for name, agg in phases.items()],
+        ))
+    else:
+        parts.append("<p class='meta'>No rank-track spans.</p>")
+    parts.append("<h2>Metrics</h2>")
+    parts.append(_metrics_section(analysis))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_report(path: str | Path, source, title: str = "") -> Path:
+    """Render ``source`` to ``path`` and return it.
+
+    ``source`` may be a :class:`TraceAnalysis`, a live
+    :class:`~repro.obs.context.ObsContext`, or a trace file path
+    (JSONL stream or Perfetto JSON).
+    """
+    if isinstance(source, TraceAnalysis):
+        analysis = source
+    elif isinstance(source, (str, Path)):
+        analysis = TraceAnalysis.from_file(source)
+    elif hasattr(source, "run_id") and hasattr(source, "metrics"):
+        analysis = TraceAnalysis.from_context(source)
+    else:
+        raise TraceFormatError(
+            f"cannot analyze {type(source).__name__}: expected a "
+            "TraceAnalysis, ObsContext, or trace file path"
+        )
+    path = Path(path)
+    path.write_text(render_report(analysis, title=title))
+    return path
+
+
+__all__ = ["render_report", "write_report"]

@@ -45,6 +45,16 @@ def rank_track(rank: int) -> str:
     return f"rank {rank}"
 
 
+def msg_track(rank: int) -> str:
+    """Canonical track name for messages *received by* a simulated rank.
+
+    Deliberately not a ``rank ...`` name: message spans overlap freely (any
+    number can be in flight toward one rank), so they live beside — not on —
+    the rank's span track, and track-per-rank assertions stay unambiguous.
+    """
+    return f"msgs {rank}"
+
+
 class Span:
     """One completed interval on one track."""
 
@@ -176,6 +186,7 @@ __all__ = [
     "WALL",
     "DEFAULT_CAPACITY",
     "rank_track",
+    "msg_track",
     "Span",
     "SpanRecorder",
 ]

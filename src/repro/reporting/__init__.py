@@ -1,4 +1,5 @@
-"""Plain-text rendering of experiment results (tables, grids, bars, timelines)."""
+"""Rendering of experiment results: ASCII tables/grids/bars/timelines and
+inline-SVG timelines/heatmaps for the HTML report."""
 
 from repro.reporting.ascii import (
     render_bars,
@@ -7,6 +8,7 @@ from repro.reporting.ascii import (
     render_table,
 )
 from repro.reporting.export import grid_to_csv, results_to_json, to_jsonable
+from repro.reporting.svg import svg_heatmap, svg_timeline
 from repro.reporting.timeline import render_timeline
 
 __all__ = [
@@ -15,6 +17,8 @@ __all__ = [
     "render_bars",
     "render_series",
     "render_timeline",
+    "svg_timeline",
+    "svg_heatmap",
     "grid_to_csv",
     "results_to_json",
     "to_jsonable",

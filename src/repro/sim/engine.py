@@ -87,6 +87,7 @@ from repro.obs.context import (
     disable_process_engine_aggregation,
     enable_process_engine_aggregation,
 )
+from repro.obs.spans import msg_track as _msg_track
 from repro.sim.network import NetworkModel
 
 ANY_SOURCE = -1
@@ -176,6 +177,15 @@ class EngineStats:
         d["events_total"] = self.events_total
         d["events_per_sec"] = self.events_per_sec
         return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineStats":
+        """Rebuild stats from :meth:`to_dict` output (derived keys ignored) —
+        how worker-process aggregates rejoin the parent session."""
+        stats = cls()
+        for name in cls.__slots__:
+            setattr(stats, name, data[name])
+        return stats
 
     def summary(self) -> str:
         """One-line human-readable digest (used in logs and error messages)."""
@@ -443,6 +453,11 @@ class Engine:
         # so the disabled-mode cost on fiber completion is one None check.
         octx = _obs_current()
         self._obs = octx if (octx.enabled and octx.record_spans) else None
+        # Per-message spans (sender post -> receiver completion) feed the
+        # comm-volume and critical-path analyses; opt-in via the session's
+        # record_messages flag because they are O(messages) in volume.
+        self._obs_msg = self._obs if (self._obs is not None
+                                      and octx.record_messages) else None
 
     # ------------------------------------------------------------------ #
     # Event plumbing
@@ -1055,6 +1070,8 @@ class Engine:
             recv_req.payload = msg.payload
             recv_req.source_rank = msg.owner
             recv_req.recv_tag = msg.tag
+            if self._obs_msg is not None:
+                self._record_msg(msg, ready)
             self._notify_waiters(recv_req)
         else:
             self._complete_match(proc, recv_req, msg)
@@ -1118,7 +1135,19 @@ class Engine:
         recv_req.payload = msg.payload
         recv_req.source_rank = msg.owner
         recv_req.recv_tag = msg.tag
+        if self._obs_msg is not None:
+            self._record_msg(msg, when)
         self._notify_waiters(recv_req)
+
+    def _record_msg(self, msg: Request, delivered: float) -> None:
+        """Record one delivered message (sender post to receiver completion)
+        on the receiver's message track.  Every eager and rendezvous
+        completion path funnels through here when message recording is on."""
+        self._obs_msg.record_vspan(
+            "msg", _msg_track(msg.peer), msg.post_time, delivered,
+            args={"src": msg.owner, "dst": msg.peer, "bytes": msg.nbytes,
+                  "tag": msg.tag},
+        )
 
     # ------------------------------------------------------------------ #
     # Introspection

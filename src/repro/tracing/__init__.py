@@ -8,7 +8,9 @@ Fig. 1) and converts it into a replayable arrival pattern — the
 """
 
 from repro.tracing.tracer import CollectiveTracer, TraceEvent
-from repro.tracing.analysis import (
+# Analysis moved to repro.obs.analysis (one home for all trace analysis);
+# importing from there directly avoids the deprecation shim's warning.
+from repro.obs.analysis import (
     average_delay_per_rank,
     max_observed_skew,
     pattern_from_trace,

@@ -1,69 +1,31 @@
-"""Trace analysis: from raw arrival timestamps to replayable patterns.
+"""Deprecated shim: trace analysis moved to :mod:`repro.obs.analysis`.
 
-Implements the paper's Section V-A procedure: "For each MPI_Alltoall call
-..., we set the arrival time of the first process as time zero and subtract
-the arrival times of all other processes from this value.  We apply this
-method to all MPI_Alltoall calls ..., ultimately calculating the average
-delay for each process across all calls."  The resulting per-rank average
-delay is the *FT-Scenario* pattern when traced from FT.
+This module path is kept so existing imports keep working; it re-exports
+the tracer-based reconstruction helpers from their new home and warns on
+import.  New code should import from ``repro.obs.analysis`` (or the
+``repro.tracing`` package root, which re-exports without the warning).
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
-from repro.errors import TraceFormatError
-from repro.patterns.generator import ArrivalPattern
-from repro.tracing.tracer import CollectiveTracer
+warnings.warn(
+    "repro.tracing.analysis moved to repro.obs.analysis; "
+    "import from there (or from the repro.tracing package root) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
+from repro.obs.analysis import (  # noqa: E402
+    _per_call_delays,
+    average_delay_per_rank,
+    max_observed_skew,
+    pattern_from_trace,
+)
 
-def _per_call_delays(
-    tracer: CollectiveTracer, collective: str, num_ranks: int
-) -> np.ndarray:
-    """(num_calls, num_ranks) matrix of arrival delays relative to first arrival."""
-    calls = tracer.calls(collective)
-    if not calls:
-        raise TraceFormatError(f"trace contains no {collective!r} calls")
-    rows = []
-    for sequence in sorted(calls):
-        events = calls[sequence]
-        by_rank = {ev.rank: ev for ev in events}
-        if len(by_rank) != num_ranks:
-            # Partial call (rank sampling active): skip incomplete records.
-            continue
-        arrivals = np.array([by_rank[r].arrival for r in range(num_ranks)])
-        rows.append(arrivals - arrivals.min())
-    if not rows:
-        raise TraceFormatError(
-            f"no complete {collective!r} calls covering all {num_ranks} ranks"
-        )
-    return np.stack(rows)
-
-
-def average_delay_per_rank(
-    tracer: CollectiveTracer, collective: str, num_ranks: int
-) -> np.ndarray:
-    """Fig. 1: mean arrival delay per rank across all traced calls."""
-    return _per_call_delays(tracer, collective, num_ranks).mean(axis=0)
-
-
-def max_observed_skew(
-    tracer: CollectiveTracer, collective: str, num_ranks: int
-) -> float:
-    """The highest per-call arrival spread seen in the trace.
-
-    The paper uses this as the maximum process skew when generating the
-    artificial patterns that accompany the traced scenario (Section V-B).
-    """
-    delays = _per_call_delays(tracer, collective, num_ranks)
-    return float(delays.max(axis=1).max())
-
-
-def pattern_from_trace(
-    tracer: CollectiveTracer,
-    collective: str,
-    num_ranks: int,
-    name: str = "ft_scenario",
-) -> ArrivalPattern:
-    """The replayable application scenario: per-rank average delays as skews."""
-    return ArrivalPattern(name, average_delay_per_rank(tracer, collective, num_ranks))
+__all__ = [
+    "average_delay_per_rank",
+    "max_observed_skew",
+    "pattern_from_trace",
+]

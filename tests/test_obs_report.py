@@ -1,0 +1,178 @@
+"""Tests for the SVG renderers, HTML report, and report/diff-metrics CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli, obs
+from repro.bench.executor import CellExecutor, CellSpec
+from repro.bench.micro import MicroBenchmark
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.obs.analysis import TraceAnalysis
+from repro.obs.export import export_jsonl, export_metrics, export_perfetto
+from repro.obs.report import render_report, write_report
+from repro.patterns.generator import generate_pattern
+from repro.reporting.svg import svg_heatmap, svg_timeline
+from repro.sim.platform import Platform
+
+
+@pytest.fixture(scope="module")
+def traced_ctx():
+    """One instrumented two-cell campaign with message spans."""
+    bench = MicroBenchmark(
+        platform=Platform(name="report", nodes=2, cores_per_node=2), nrep=2,
+        seed=7,
+    )
+    pattern = generate_pattern("ascending", 4, 1e-5, seed=3)
+    specs = [
+        CellSpec.from_bench(bench, "alltoall", "pairwise", 1024, pattern),
+        CellSpec.from_bench(bench, "allreduce", "ring", 4096, None),
+    ]
+    with obs.session(run_id="report-test", record_spans=True,
+                     record_messages=True) as ctx:
+        CellExecutor(jobs=1).run_cells(specs)
+    return ctx
+
+
+class TestSvgTimeline:
+    def test_renders_tracks_and_legend(self):
+        svg = svg_timeline([
+            ("rank 0", [(0.0, 1.0, "a/b"), (1.0, 2.0, "c/d")]),
+            ("rank 1", [(0.5, 1.5, "a/b")]),
+        ])
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "rank 0" in svg and "rank 1" in svg
+        assert svg.count("a/b") == 3  # two tooltips + one legend entry
+
+    def test_escapes_labels(self):
+        svg = svg_timeline([("<evil>", [(0.0, 1.0, "a&b")])])
+        assert "<evil>" not in svg and "&lt;evil&gt;" in svg
+        assert "a&amp;b" in svg
+
+    def test_rejects_narrow_width(self):
+        with pytest.raises(ConfigurationError):
+            svg_timeline([], width=100)
+
+    def test_empty_tracks_still_valid(self):
+        svg = svg_timeline([])
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+
+
+class TestSvgHeatmap:
+    def test_scales_to_max(self):
+        svg = svg_heatmap([[0.0, 2.0], [1.0, 0.0]], ["0", "1"], ["0", "1"])
+        assert 'fill="rgb(255,255,255)"' in svg      # zero cell
+        assert 'fill="rgb(32,74,135)"' in svg        # max cell
+        assert "0 -&gt; 1: 2" in svg                 # tooltip
+
+    def test_label_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            svg_heatmap([[1.0]], ["a", "b"], ["a"])
+        with pytest.raises(ConfigurationError):
+            svg_heatmap([[1.0, 2.0]], ["a"], ["a"])
+
+    def test_all_zero_matrix(self):
+        svg = svg_heatmap([[0.0]], ["r"], ["c"])
+        assert 'fill="rgb(255,255,255)"' in svg
+
+
+class TestRenderReport:
+    def test_standalone_html_with_all_sections(self, traced_ctx):
+        html = render_report(TraceAnalysis.from_context(traced_ctx))
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.rstrip().endswith("</html>")
+        assert "http" not in html.replace("http://www.w3.org", "")
+        for section in ("Collective calls", "Timeline",
+                        "Communication volume", "Critical path",
+                        "Phase breakdown", "Metrics"):
+            assert f"<h2>{section}</h2>" in html
+        assert "<svg" in html
+        assert "alltoall/pairwise" in html and "allreduce/ring" in html
+        assert "d̂ (last delay)" in html
+        assert "report-test" in html
+        assert "class='warn'" not in html
+
+    def test_dropped_spans_banner(self):
+        analysis = TraceAnalysis([], run_id="x", dropped=7)
+        html = render_report(analysis)
+        assert "class='warn'" in html and "7 span(s)" in html
+
+    def test_empty_trace_renders(self):
+        html = render_report(TraceAnalysis([], run_id="empty"))
+        assert "No collective calls" in html
+        assert html.rstrip().endswith("</html>")
+
+    def test_title_escaped(self):
+        html = render_report(TraceAnalysis([]), title="<b>hi</b>")
+        assert "<b>hi</b>" not in html and "&lt;b&gt;hi&lt;/b&gt;" in html
+
+
+class TestWriteReport:
+    def test_from_context_and_from_files(self, traced_ctx, tmp_path):
+        from_ctx = write_report(tmp_path / "ctx.html", traced_ctx)
+        jsonl = tmp_path / "trace.jsonl"
+        export_jsonl(jsonl, traced_ctx)
+        from_jsonl = write_report(tmp_path / "jsonl.html", jsonl)
+        perfetto = tmp_path / "trace.json"
+        export_perfetto(perfetto, traced_ctx)
+        from_perfetto = write_report(tmp_path / "perfetto.html", perfetto)
+        for path in (from_ctx, from_jsonl, from_perfetto):
+            text = path.read_text()
+            assert text.startswith("<!DOCTYPE html>")
+            assert "alltoall/pairwise" in text
+
+    def test_bad_source_raises(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="cannot analyze"):
+            write_report(tmp_path / "x.html", 42)
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not a trace")
+        with pytest.raises(TraceFormatError):
+            write_report(tmp_path / "x.html", garbage)
+
+
+class TestCliReport:
+    def test_report_command(self, traced_ctx, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        export_perfetto(trace, traced_ctx)
+        out = tmp_path / "report.html"
+        assert cli.main(["report", str(trace), "-o", str(out),
+                         "--title", "smoke"]) == 0
+        assert "wrote report" in capsys.readouterr().out
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>") and "smoke" in text
+
+
+class TestCliDiffMetrics:
+    def _snapshot(self, traced_ctx, tmp_path, name):
+        path = tmp_path / name
+        export_metrics(path, traced_ctx)
+        return path
+
+    def test_agreement_exits_zero(self, traced_ctx, tmp_path, capsys):
+        base = self._snapshot(traced_ctx, tmp_path, "base.json")
+        assert cli.main(["diff-metrics", str(base), str(base)]) == 0
+        assert "agree" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, traced_ctx, tmp_path,
+                                               capsys):
+        base = self._snapshot(traced_ctx, tmp_path, "base.json")
+        payload = json.loads(base.read_text())
+        payload["metrics"]["executor.cells"]["value"] *= 100
+        cand = tmp_path / "cand.json"
+        cand.write_text(json.dumps(payload))
+        assert cli.main(["diff-metrics", str(base), str(cand)]) == 1
+        out = capsys.readouterr().out
+        assert "drifted" in out and "executor.cells" in out
+
+    def test_threshold_flag(self, traced_ctx, tmp_path):
+        base = self._snapshot(traced_ctx, tmp_path, "base.json")
+        payload = json.loads(base.read_text())
+        payload["metrics"]["executor.cells"]["value"] *= 1.5
+        cand = tmp_path / "cand.json"
+        cand.write_text(json.dumps(payload))
+        assert cli.main(["diff-metrics", str(base), str(cand),
+                         "--threshold", "0.6"]) == 0
+        assert cli.main(["diff-metrics", str(base), str(cand),
+                         "--threshold", "0.4"]) == 1
