@@ -67,6 +67,9 @@ class CampaignResult:
     #: Cache-hit and per-cell timing counters from the executor that ran the
     #: campaign (speedup and hit-rate reporting).
     stats: ExecutorStats | None = None
+    #: Ingest counters from the tuning store, when the campaign had one
+    #: (``{"new_sweeps": N, "rules_written": N}``).
+    store_ingest: dict | None = None
 
     def summary_rows(self) -> list[list[str]]:
         return [
@@ -93,6 +96,10 @@ class TuningCampaign:
     jobs: int = 1
     #: Enables the on-disk result cache when set (see repro.bench.executor).
     cache_dir: str | Path | None = None
+    #: Persistent tuning-store sink (a repro.store.TuningStore or a path).
+    #: When set, every cell, sweep, and built rule is ingested into the
+    #: store; content addressing makes re-runs idempotent.
+    store: object = None
 
     def __post_init__(self) -> None:
         from repro.selection.strategies import RobustAverageSelector
@@ -112,10 +119,33 @@ class TuningCampaign:
         if not self._sizes:
             raise ConfigurationError("campaign needs at least one message size")
         self._shapes = list(self.shapes) or list_shapes()
+        self._store_handle = None
+        self._owns_store = False
+
+    def _open_store(self):
+        """Open (once) the campaign's tuning store; ``None`` when unset."""
+        if self.store is None:
+            return None
+        if self._store_handle is None:
+            from repro.store import open_store
+
+            self._store_handle, self._owns_store = open_store(self.store)
+        return self._store_handle
+
+    def close(self) -> None:
+        """Release the tuning store if this campaign opened it."""
+        if self._store_handle is not None and self._owns_store:
+            self._store_handle.close()
+        self._store_handle = None
 
     def make_executor(self) -> CellExecutor:
-        """The executor this campaign's cells run through."""
-        return CellExecutor(jobs=self.jobs, cache_dir=self.cache_dir)
+        """The executor this campaign's cells run through.
+
+        Shares the campaign's tuning store (when configured) so per-cell
+        results and campaign-level sweeps/rules land in one connection.
+        """
+        return CellExecutor(jobs=self.jobs, cache_dir=self.cache_dir,
+                            store=self._open_store())
 
     def run(self, progress=None, executor: CellExecutor | None = None) -> CampaignResult:
         """Execute the campaign; ``progress(collective, size)`` is called per cell.
@@ -188,6 +218,17 @@ class TuningCampaign:
             winner = table.add_sweep(sweep, self.strategy)
             result.sweeps[(coll, float(size))] = sweep
             result.winners[(coll, float(size))] = winner
+        store = self._open_store()
+        if store is not None:
+            from repro.store import harness_hash
+
+            with octx.wall_span("campaign.store_ingest", track="campaign"):
+                result.store_ingest = store.ingest_campaign(
+                    result,
+                    run_id=octx.run_id,
+                    params_hash=(harness_hash(base_specs[0])
+                                 if base_specs else ""),
+                )
         return result
 
     def save(self, result: CampaignResult, outdir: str | Path) -> dict[str, Path]:

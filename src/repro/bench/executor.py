@@ -20,9 +20,11 @@ module supplies the three pieces the sweep drivers build on:
   counters accumulate on :class:`ExecutorStats`.
 
 Environment overrides (picked up when a sweep builds its default executor):
-``REPRO_JOBS`` sets the worker count and ``REPRO_CACHE_DIR`` enables the
-cache — so re-runs of ``benchmarks/bench_*.py`` and the experiment drivers
-can skip already-simulated cells without any code change.
+``REPRO_JOBS`` sets the worker count, ``REPRO_CACHE_DIR`` enables the
+cache, and ``REPRO_STORE`` sinks every finished cell into a persistent
+:class:`~repro.store.TuningStore` — so re-runs of ``benchmarks/bench_*.py``
+and the experiment drivers can skip already-simulated cells and accumulate
+a durable tuning database without any code change.
 """
 
 from __future__ import annotations
@@ -315,9 +317,14 @@ class ResultCache:
             result = BenchResult.from_dict(record["result"])
             raw = record.get("telemetry")
             telemetry = CellTelemetry.from_dict(raw) if raw is not None else None
-            return result, telemetry
         except (ValueError, KeyError, ConfigurationError, TraceFormatError):
             return None  # corrupt record: treat as a miss, re-simulate
+        try:
+            # Touch on hit: file mtime doubles as the LRU clock for gc().
+            os.utime(path)
+        except OSError:
+            pass
+        return result, telemetry
 
     def put(self, spec: CellSpec, result: "BenchResult",
             telemetry: "CellTelemetry | None" = None) -> Path:
@@ -335,6 +342,67 @@ class ResultCache:
         tmp.write_text(json.dumps(record))
         tmp.replace(path)  # atomic: concurrent writers race benignly
         return path
+
+    # -- maintenance (repro-mpi cache) ---------------------------------- #
+
+    def record_paths(self) -> list[Path]:
+        """Every record file currently in the cache (sorted for stability)."""
+        if not self.cache_dir.is_dir():
+            return []
+        return sorted(self.cache_dir.glob("??/*.json"))
+
+    def stats(self) -> "CacheStats":
+        """Entry and byte totals (the ``repro-mpi cache stats`` numbers)."""
+        entries = 0
+        total = 0
+        for path in self.record_paths():
+            try:
+                total += path.stat().st_size
+                entries += 1
+            except OSError:
+                continue  # racing eviction; skip
+        return CacheStats(entries=entries, total_bytes=total)
+
+    def gc(self, max_bytes: int) -> tuple[int, int]:
+        """Evict least-recently-used records until the cache fits
+        ``max_bytes``; returns ``(evicted_count, freed_bytes)``.
+
+        Recency is file mtime — reads touch records (see
+        :meth:`get_record`), so a long campaign's working set survives and
+        stale cells go first.
+        """
+        if max_bytes < 0:
+            raise ConfigurationError(f"max_bytes must be >= 0, got {max_bytes}")
+        records = []
+        total = 0
+        for path in self.record_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            records.append((stat.st_mtime, path, stat.st_size))
+            total += stat.st_size
+        records.sort()  # oldest mtime first
+        evicted = 0
+        freed = 0
+        for _mtime, path, size in records:
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted += 1
+            freed += size
+        return evicted, freed
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Totals returned by :meth:`ResultCache.stats`."""
+
+    entries: int
+    total_bytes: int
 
 
 # --------------------------------------------------------------------------- #
@@ -397,22 +465,44 @@ class CellExecutor:
     ``--jobs N`` output byte-identical to the serial path.
     """
 
-    def __init__(self, jobs: int = 1, cache_dir: str | Path | None = None) -> None:
+    def __init__(self, jobs: int = 1, cache_dir: str | Path | None = None,
+                 store=None) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.stats = ExecutorStats()
+        # Optional persistent sink: a repro.store.TuningStore (or a path to
+        # one) that every finished cell — simulated or cache-served — is
+        # ingested into.  Ingest is content-addressed, so repeated runs are
+        # idempotent.  Lazily imported: the store is an optional layer.
+        self.store = None
+        self._owns_store = False
+        self._store_provenance: int | None = None
+        if store is not None:
+            from repro.store import open_store
+
+            self.store, self._owns_store = open_store(store)
 
     @classmethod
     def from_env(cls, jobs: int | None = None,
-                 cache_dir: str | Path | None = None) -> "CellExecutor":
-        """Build an executor honoring ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``."""
+                 cache_dir: str | Path | None = None,
+                 store=None) -> "CellExecutor":
+        """Build an executor honoring ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` /
+        ``REPRO_STORE``."""
         if jobs is None:
             jobs = int(os.environ.get("REPRO_JOBS", "1"))
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
-        return cls(jobs=jobs, cache_dir=cache_dir)
+        if store is None:
+            store = os.environ.get("REPRO_STORE") or None
+        return cls(jobs=jobs, cache_dir=cache_dir, store=store)
+
+    def close(self) -> None:
+        """Release the store connection if this executor opened it."""
+        if self.store is not None and self._owns_store:
+            self.store.close()
+            self.store = None
 
     def run_cells(
         self,
@@ -487,6 +577,8 @@ class CellExecutor:
                                         else "no_delay"),
                         },
                     )
+            if self.store is not None and specs:
+                self._sink(specs, results)
             self.stats.cells += len(specs)
             self.stats.wall_seconds += time.perf_counter() - started
         if collect:
@@ -495,6 +587,29 @@ class CellExecutor:
             m.counter("executor.cache_hit_total").inc(len(specs) - len(pending))
             m.counter("executor.simulated").inc(len(pending))
         return results  # type: ignore[return-value]
+
+    def _sink(self, specs: Sequence[CellSpec],
+              results: Sequence["BenchResult | None"]) -> None:
+        """Ingest every finished cell of one batch into the tuning store.
+
+        Cache hits are ingested too (the store should be complete even on a
+        warm run); content addressing makes re-ingest a no-op.
+        """
+        from repro.store import harness_hash
+
+        if self._store_provenance is None:
+            self._store_provenance = self.store.ensure_provenance(
+                run_id=_obs_current().run_id,
+                params_hash=harness_hash(specs[0]),
+            )
+        n = 0
+        for result in results:
+            if result is None:  # pragma: no cover - defensive
+                continue
+            _id, inserted = self.store.ingest_result(
+                result, provenance_id=self._store_provenance)
+            n += inserted
+        _obs_current().metrics.counter("executor.store_ingest_total").inc(n)
 
     def _record(self, spec: CellSpec, result: "BenchResult", seconds: float,
                 telemetry: "CellTelemetry | None" = None) -> "BenchResult":
@@ -515,6 +630,7 @@ __all__ = [
     "CellSpec",
     "run_cell",
     "ResultCache",
+    "CacheStats",
     "ExecutorStats",
     "CellExecutor",
 ]

@@ -172,6 +172,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="message sizes (e.g. 8 1KiB 32KiB)")
     ptune.add_argument("--out", default="tuned", metavar="DIR",
                        help="output directory for table/rules/sweeps")
+    ptune.add_argument("--store", default=None, metavar="DB",
+                       help="also ingest results, sweeps, and rules into a "
+                       "persistent tuning store (SQLite; created on first "
+                       "use, re-runs are idempotent)")
+
+    pserve = sub.add_parser(
+        "serve",
+        help="serve selection queries from a tuning store over TCP "
+        "(newline-delimited JSON; SIGHUP or a store change hot-reloads)",
+    )
+    pserve.add_argument("store", help="tuning store database (see tune --store)")
+    pserve.add_argument("--host", default="127.0.0.1")
+    pserve.add_argument("--port", type=int, default=7453,
+                        help="TCP port (0 picks an ephemeral port)")
+    pserve.add_argument("--cache-size", type=int, default=4096,
+                        dest="cache_size",
+                        help="reply LRU capacity (entries)")
+    pserve.add_argument("--no-fallback", action="store_true", dest="no_fallback",
+                        help="error on rule misses instead of answering with "
+                        "Open MPI's fixed decision logic")
+    pserve.add_argument("--reload-interval", type=float, default=1.0,
+                        dest="reload_interval", metavar="SECONDS",
+                        help="min seconds between store-mtime checks")
+
+    pquery = sub.add_parser(
+        "query",
+        help="resolve one selection query against a store or a running server",
+    )
+    pquery.add_argument("collective")
+    pquery.add_argument("comm_size", type=int)
+    pquery.add_argument("msg_bytes", help="message size (e.g. 8, 1KiB, 32KiB)")
+    pquery.add_argument("--pattern", default=None,
+                        help="arrival-pattern shape for pattern-aware rules")
+    pquery.add_argument("--store", default=None, metavar="DB",
+                        help="answer in-process from this tuning store")
+    pquery.add_argument("--host", default="127.0.0.1",
+                        help="server to query when no --store is given")
+    pquery.add_argument("--port", type=int, default=7453)
+    pquery.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the full reply as JSON")
+
+    pcache = sub.add_parser(
+        "cache", help="inspect or prune the on-disk benchmark result cache"
+    )
+    cache_sub = pcache.add_subparsers(dest="cache_cmd", required=True)
+    pcs = cache_sub.add_parser("stats", help="entry and byte totals")
+    pcg = cache_sub.add_parser(
+        "gc", help="evict least-recently-used records down to a size budget"
+    )
+    pcg.add_argument("--max-bytes", required=True, dest="max_bytes",
+                     metavar="SIZE",
+                     help="target cache size (e.g. 10MiB, 0 empties it)")
+    for p in (pcs, pcg):
+        p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                       metavar="DIR",
+                       help="cache directory (default: $REPRO_CACHE_DIR)")
 
     pprof = sub.add_parser(
         "profile",
@@ -364,6 +420,90 @@ def _executor_summary(octx) -> str | None:
     return text
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        SelectionServer,
+        SelectionService,
+        install_sighup_reload,
+    )
+
+    service = SelectionService(
+        args.store,
+        cache_size=args.cache_size,
+        fallback=not args.no_fallback,
+        reload_interval=args.reload_interval,
+    )
+    install_sighup_reload(service)
+    with service:
+        server = SelectionServer(service, host=args.host, port=args.port)
+        host, port = server.address
+        strategy = service.strategy or "<fallback only>"
+        print(f"serving {args.store} (strategy {strategy}) "
+              f"on {host}:{port}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.utils.units import parse_bytes
+
+    msg_bytes = parse_bytes(args.msg_bytes)
+    if args.store is not None:
+        from repro.service import InProcessClient, SelectionService
+
+        with SelectionService(args.store, watch_store=False) as service:
+            client = InProcessClient(service)
+            reply = client.query(args.collective, args.comm_size, msg_bytes,
+                                 args.pattern)
+    else:
+        from repro.service import SelectionClient
+
+        with SelectionClient(args.host, args.port) as client:
+            reply = client.query(args.collective, args.comm_size, msg_bytes,
+                                 args.pattern)
+    if args.as_json:
+        print(json.dumps(reply, sort_keys=True))
+    else:
+        print(f"{reply['algorithm']}  (source {reply['source']}"
+              + (f", strategy {reply['strategy']}" if reply["strategy"]
+                 else "") + ")")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench.executor import ResultCache
+    from repro.utils.units import format_bytes, parse_bytes
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        print("no cache directory: pass --cache-dir or set REPRO_CACHE_DIR",
+              file=sys.stderr)
+        return 2
+    cache = ResultCache(cache_dir)
+    if args.cache_cmd == "stats":
+        stats = cache.stats()
+        print(f"{cache_dir}: {stats.entries} entries, "
+              f"{format_bytes(stats.total_bytes)} "
+              f"({stats.total_bytes} bytes)")
+    else:  # gc
+        budget = int(parse_bytes(args.max_bytes))
+        evicted, freed = cache.gc(budget)
+        stats = cache.stats()
+        print(f"evicted {evicted} entries ({format_bytes(freed)}); "
+              f"{stats.entries} entries, {format_bytes(stats.total_bytes)} "
+              f"remain")
+    return 0
+
+
 def _dispatch(command: str, args: argparse.Namespace) -> int:
     if command == "table1":
         print(tables.table1())
@@ -432,12 +572,21 @@ def _dispatch(command: str, args: argparse.Namespace) -> int:
             seed=config.seed,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
+            store=args.store,
         )
-        result = campaign.run(
-            progress=lambda c, s: print(f"  tuning {c} @ {s} B ...", file=sys.stderr)
-        )
+        try:
+            result = campaign.run(
+                progress=lambda c, s: print(f"  tuning {c} @ {s} B ...",
+                                            file=sys.stderr)
+            )
+        finally:
+            campaign.close()
         paths = campaign.save(result, args.out)
         print(f"  [{result.stats.summary()}]", file=sys.stderr)
+        if result.store_ingest is not None:
+            print(f"store: {args.store} "
+                  f"(+{result.store_ingest['new_sweeps']} sweeps, "
+                  f"{result.store_ingest['rules_written']} rules)")
         print(render_table(["collective", "size", "selected algorithm"],
                            result.summary_rows(),
                            title=f"Tuned table ({config.machine}, "
@@ -471,6 +620,12 @@ def _dispatch(command: str, args: argparse.Namespace) -> int:
         print(tables.table1())
         print()
         print(tables.table2())
+    elif command == "serve":
+        return _cmd_serve(args)
+    elif command == "query":
+        return _cmd_query(args)
+    elif command == "cache":
+        return _cmd_cache(args)
     elif command == "profile":
         return _cmd_profile(args)
     elif command == "report":

@@ -57,3 +57,25 @@ class UnknownAlgorithmError(ConfigurationError):
 
 class TraceFormatError(ReproError):
     """A trace or arrival-pattern file could not be parsed."""
+
+
+class StoreError(ReproError):
+    """A tuning store is unreadable, corrupt, or newer than this code.
+
+    Raised by :mod:`repro.store` for database-level failures — schema
+    versions this code does not know, malformed payload rows, and files
+    that are not SQLite databases.  Bad *inputs* to store operations keep
+    raising :class:`ConfigurationError`.
+    """
+
+
+class ServiceError(ReproError):
+    """A selection-service request failed.
+
+    Carries the structured error reply (``reply``) a server or client
+    produced, so callers can inspect the wire-level ``error`` code.
+    """
+
+    def __init__(self, message: str, reply: dict | None = None) -> None:
+        self.reply = dict(reply) if reply else {}
+        super().__init__(message)

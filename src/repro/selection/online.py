@@ -62,8 +62,15 @@ class PatternClassifier:
             raise ConfigurationError(
                 f"expected {self.num_ranks} delays, got shape {delays.shape}"
             )
+        if not np.all(np.isfinite(delays)):
+            raise ConfigurationError(
+                "delay vector contains non-finite values (NaN or inf)"
+            )
         spread = float(delays.max() - delays.min())
-        if spread < self.min_spread:
+        # min_spread floor also covers the single-rank case (spread is
+        # always 0 with one rank) and the no-templates case (every centred
+        # single-element template has zero norm, so none were kept).
+        if spread < self.min_spread or not self._templates:
             return NO_DELAY, spread
         centred = delays - delays.mean()
         norm = np.linalg.norm(centred)

@@ -16,6 +16,24 @@ from repro.errors import ConfigurationError
 from repro.bench.results import SweepResult
 from repro.selection.strategies import SelectionStrategy
 
+#: Serialization format version written by :meth:`SelectionTable.to_dict`.
+#: Bump when the JSON layout changes incompatibly; :meth:`from_dict` accepts
+#: files without a version (the pre-versioned legacy layout) and rejects
+#: versions it does not know.
+TABLE_FORMAT_VERSION = 1
+
+#: Exact key set of one serialized rule entry.
+_RULE_KEYS = frozenset({"collective", "comm_size", "msg_bytes", "algorithm"})
+
+
+def _require_number(value, path: str) -> float:
+    """A finite JSON number (bools are not numbers here)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"{path}: expected a number, got {type(value).__name__} {value!r}"
+        )
+    return float(value)
+
 
 @dataclass
 class SelectionTable:
@@ -75,6 +93,13 @@ class SelectionTable:
     def rules_for(self, collective: str, comm_size: int) -> list[tuple[float, str]]:
         return list(self._rules.get((collective, comm_size), []))
 
+    def iter_rules(self):
+        """Every rule as ``(collective, comm_size, msg_bytes, algorithm)``,
+        sorted — the canonical flat form used by exports and the store."""
+        for (coll, size), rules in sorted(self._rules.items()):
+            for msg_bytes, algorithm in rules:
+                yield coll, size, msg_bytes, algorithm
+
     @property
     def collectives(self) -> list[str]:
         return sorted({coll for (coll, _size) in self._rules})
@@ -83,22 +108,118 @@ class SelectionTable:
 
     def to_dict(self) -> dict:
         return {
+            "version": TABLE_FORMAT_VERSION,
             "strategy": self.strategy_name,
             "rules": [
                 {"collective": coll, "comm_size": size, "msg_bytes": m, "algorithm": a}
-                for (coll, size), rules in sorted(self._rules.items())
-                for m, a in rules
+                for coll, size, m, a in self.iter_rules()
             ],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict, source: str = "selection table") -> "SelectionTable":
+        """Rebuild a table from :meth:`to_dict` output, validating the schema.
+
+        Malformed input raises :class:`ConfigurationError` naming the
+        offending path (``rules[3].msg_bytes``) instead of leaking a
+        ``KeyError``/``TypeError`` from deep inside.  Files without a
+        ``version`` field (the legacy layout) still load.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"{source}: top level must be an object, "
+                f"got {type(data).__name__}"
+            )
+        unknown = set(data) - {"version", "strategy", "rules"}
+        if unknown:
+            raise ConfigurationError(
+                f"{source}: unknown keys {sorted(unknown)}"
+            )
+        version = data.get("version", TABLE_FORMAT_VERSION)
+        if isinstance(version, bool) or not isinstance(version, int) \
+                or not 1 <= version <= TABLE_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"{source}.version: expected an integer in "
+                f"[1, {TABLE_FORMAT_VERSION}], got {version!r}"
+            )
+        strategy = data.get("strategy", "")
+        if not isinstance(strategy, str):
+            raise ConfigurationError(
+                f"{source}.strategy: expected a string, got {strategy!r}"
+            )
+        rules = data.get("rules", [])
+        if not isinstance(rules, list):
+            raise ConfigurationError(
+                f"{source}.rules: expected a list, got {type(rules).__name__}"
+            )
+        table = cls(strategy_name=strategy)
+        for i, rule in enumerate(rules):
+            path = f"{source}.rules[{i}]"
+            if not isinstance(rule, dict):
+                raise ConfigurationError(
+                    f"{path}: expected an object, got {type(rule).__name__}"
+                )
+            missing = _RULE_KEYS - set(rule)
+            if missing:
+                raise ConfigurationError(f"{path}: missing {sorted(missing)}")
+            unknown = set(rule) - _RULE_KEYS
+            if unknown:
+                raise ConfigurationError(f"{path}: unknown keys {sorted(unknown)}")
+            for key in ("collective", "algorithm"):
+                if not isinstance(rule[key], str) or not rule[key]:
+                    raise ConfigurationError(
+                        f"{path}.{key}: expected a non-empty string, "
+                        f"got {rule[key]!r}"
+                    )
+            comm_size = _require_number(rule["comm_size"], f"{path}.comm_size")
+            if comm_size != int(comm_size):
+                raise ConfigurationError(
+                    f"{path}.comm_size: expected an integer, got {comm_size!r}"
+                )
+            msg_bytes = _require_number(rule["msg_bytes"], f"{path}.msg_bytes")
+            try:
+                table.add_rule(rule["collective"], int(comm_size), msg_bytes,
+                               rule["algorithm"])
+            except ConfigurationError as exc:
+                raise ConfigurationError(f"{path}: {exc}") from None
+        return table
 
     def save_json(self, path: str | Path) -> None:
         Path(path).write_text(json.dumps(self.to_dict(), indent=2))
 
     @classmethod
     def load_json(cls, path: str | Path) -> "SelectionTable":
-        data = json.loads(Path(path).read_text())
-        table = cls(strategy_name=data.get("strategy", ""))
-        for rule in data.get("rules", []):
-            table.add_rule(rule["collective"], int(rule["comm_size"]),
-                           float(rule["msg_bytes"]), rule["algorithm"])
-        return table
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except ValueError as exc:
+            raise ConfigurationError(f"{path}: not valid JSON: {exc}") from None
+        return cls.from_dict(data, source=str(path))
+
+    # -- store round-trips ------------------------------------------------ #
+
+    def to_store(self, store) -> int:
+        """Persist every rule into a :class:`~repro.store.TuningStore`
+        (or a path to one); returns the number of rules written."""
+        from repro.store import open_store
+
+        store, owned = open_store(store)
+        try:
+            return store.store_table(self)
+        finally:
+            if owned:
+                store.close()
+
+    @classmethod
+    def from_store(cls, store, strategy: str | None = None) -> "SelectionTable":
+        """Rebuild the table stored under ``strategy`` (optional when the
+        store holds exactly one) from a :class:`~repro.store.TuningStore`
+        or a path to one."""
+        from repro.store import open_store
+
+        store, owned = open_store(store)
+        try:
+            return store.load_table(strategy)
+        finally:
+            if owned:
+                store.close()

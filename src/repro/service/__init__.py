@@ -1,0 +1,49 @@
+"""Selection-as-a-service: answer tuning queries fast and concurrently.
+
+The serving half of the persistent selection pipeline (the durable half is
+:mod:`repro.store`):
+
+* :class:`SelectionService` — warm-starts from a tuning store, answers
+  ``(collective, comm_size, msg_bytes, pattern?)`` through a
+  lock-protected LRU cache, falls back to Open MPI's fixed decision logic
+  when the store has no covering rule, and hot-reloads when the store
+  changes (or on SIGHUP under ``repro-mpi serve``).
+* :class:`SelectionServer` — a newline-delimited-JSON TCP front-end
+  (thread per connection, structured error replies).
+* :class:`SelectionClient` / :class:`InProcessClient` — the matching
+  clients; the in-process one speaks the identical protocol without a
+  socket.
+
+CLI: ``repro-mpi serve`` and ``repro-mpi query``.  See
+``docs/selection-service.md`` for the store schema, the wire protocol, and
+hot-reload semantics.
+"""
+
+from repro.service.client import InProcessClient, SelectionClient
+from repro.service.core import (
+    SOURCE_FALLBACK,
+    SOURCE_PATTERN,
+    SOURCE_STORE,
+    SelectionService,
+    ServiceStats,
+)
+from repro.service.server import (
+    PROTOCOL_VERSION,
+    SelectionServer,
+    handle_request,
+    install_sighup_reload,
+)
+
+__all__ = [
+    "SelectionService",
+    "ServiceStats",
+    "SelectionServer",
+    "SelectionClient",
+    "InProcessClient",
+    "handle_request",
+    "install_sighup_reload",
+    "PROTOCOL_VERSION",
+    "SOURCE_PATTERN",
+    "SOURCE_STORE",
+    "SOURCE_FALLBACK",
+]

@@ -1,0 +1,342 @@
+"""The concurrent selection service: store-backed, cached, hot-reloadable.
+
+A :class:`SelectionService` answers the paper's runtime question — *which
+algorithm for this* ``(collective, comm_size, msg_bytes, pattern?)`` — from
+a persistent :class:`~repro.store.TuningStore`:
+
+* **Warm start**: on construction the strategy table and the per-pattern
+  best-pick tables load from the store into memory; queries never touch
+  SQLite on the hot path.
+* **Lock-protected LRU cache**: resolved replies cache under one lock
+  (:meth:`query_batch` amortizes it over many lookups), so the concurrent
+  throughput floor is a dict probe, not a table walk.
+* **Graceful degradation**: a query no stored rule covers falls back to
+  the Open MPI fixed decision logic
+  (:func:`repro.collectives.tuned.fixed_decision`) and says so in the
+  reply's ``source`` field; only a collective *nobody* knows raises.
+* **Hot reload**: when the store file (or its WAL sidecar) changes on
+  disk, the next query reloads the tables and drops the cache;
+  :meth:`reload` does the same on demand (the server wires it to SIGHUP).
+
+Metrics flow through :mod:`repro.obs` when a session is open —
+``service.query_total``, ``service.cache_hit_total``,
+``service.fallback_total``, ``service.reload_total``, and the
+``service.query_seconds`` latency histogram — and the same numbers are
+always available process-locally via :attr:`SelectionService.stats`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import Lock
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.context import current as _obs_current
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.selection.table import SelectionTable
+    from repro.store import TuningStore
+
+#: ``source`` values a reply can carry.
+SOURCE_PATTERN = "store:pattern"   # per-pattern best pick from the store
+SOURCE_STORE = "store"             # the strategy-built rule table
+SOURCE_FALLBACK = "fallback"       # Open MPI fixed decision logic
+
+
+@dataclass
+class ServiceStats:
+    """Process-local counters mirrored into :mod:`repro.obs` when enabled."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    pattern_hits: int = 0
+    fallbacks: int = 0
+    errors: int = 0
+    reloads: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "pattern_hits": self.pattern_hits,
+            "fallbacks": self.fallbacks,
+            "errors": self.errors,
+            "reloads": self.reloads,
+        }
+
+
+@dataclass
+class _Tables:
+    """One immutable generation of loaded lookup state.
+
+    Reload swaps the whole generation atomically (one reference write), so
+    in-flight queries never see a half-loaded mix of old and new rules.
+    """
+
+    table: "SelectionTable | None" = None
+    pattern_tables: dict[str, "SelectionTable"] = field(default_factory=dict)
+    mtime: float = 0.0
+
+
+class SelectionService:
+    """Concurrent query front-end over a tuning store (see module docstring).
+
+    ``store`` may be a :class:`~repro.store.TuningStore`, a path, or
+    ``None`` (then ``table`` must carry the rules and hot reload is off).
+    ``cache_size`` bounds the reply LRU; ``fallback=False`` turns a rule
+    miss into a :class:`ConfigurationError` instead of a fixed-decision
+    answer; ``reload_interval`` throttles the store-mtime stat (seconds,
+    0 checks on every query).
+    """
+
+    def __init__(self, store: "TuningStore | str | Path | None" = None, *,
+                 table: "SelectionTable | None" = None,
+                 cache_size: int = 4096,
+                 fallback: bool = True,
+                 watch_store: bool = True,
+                 reload_interval: float = 1.0) -> None:
+        if store is None and table is None:
+            raise ConfigurationError("service needs a store or a table")
+        if cache_size < 1:
+            raise ConfigurationError(f"cache_size must be >= 1, got {cache_size}")
+        self._store = None
+        self._owns_store = False
+        if store is not None:
+            from repro.store import open_store
+
+            self._store, self._owns_store = open_store(store)
+        self._explicit_table = table
+        self.cache_size = int(cache_size)
+        self.fallback = bool(fallback)
+        self.watch_store = bool(watch_store) and self._store is not None
+        self.reload_interval = float(reload_interval)
+        self.stats = ServiceStats()
+        self._lock = Lock()
+        self._cache: OrderedDict[tuple, dict] = OrderedDict()
+        self._last_check = time.monotonic()
+        self._tables = self._load()
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def close(self) -> None:
+        if self._store is not None and self._owns_store:
+            self._store.close()
+
+    def __enter__(self) -> "SelectionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def strategy(self) -> str:
+        """Strategy name of the active rule table ('' when fallback-only)."""
+        table = self._tables.table
+        return table.strategy_name if table is not None else ""
+
+    def cache_len(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    # -- loading and reloading ------------------------------------------- #
+
+    def _load(self) -> _Tables:
+        """Build one fresh generation of lookup tables."""
+        from repro.errors import StoreError
+
+        if self._store is None:
+            return _Tables(table=self._explicit_table)
+        try:
+            table = self._store.load_table()
+        except StoreError:
+            # A store with no rules yet (e.g. a campaign still running) is
+            # served entirely by the fallback until rules appear.
+            table = self._explicit_table
+        return _Tables(table=table,
+                       pattern_tables=self._store.load_pattern_tables(),
+                       mtime=self._store.mtime())
+
+    def reload(self) -> None:
+        """Reload tables from the store and drop the reply cache."""
+        tables = self._load()
+        with self._lock:
+            self._tables = tables
+            self._cache.clear()
+            self.stats.reloads += 1
+        _obs_current().metrics.counter("service.reload_total").inc()
+
+    def _maybe_reload(self) -> None:
+        if not self.watch_store:
+            return
+        now = time.monotonic()
+        if now - self._last_check < self.reload_interval:
+            return
+        self._last_check = now
+        if self._store.mtime() != self._tables.mtime:
+            self.reload()
+
+    # -- queries --------------------------------------------------------- #
+
+    def query(self, collective: str, comm_size: int, msg_bytes: float,
+              pattern: str | None = None) -> dict:
+        """Resolve one selection query; returns the reply dict.
+
+        Reply fields: the echoed coordinates plus ``algorithm``, ``source``
+        (one of ``store:pattern`` / ``store`` / ``fallback``), and
+        ``strategy`` (the rule table's name, '' for fallback answers).
+        Raises :class:`ConfigurationError` for invalid coordinates or when
+        no layer — store, pattern table, or fallback — can answer.
+        """
+        started = time.perf_counter()
+        metrics = _obs_current().metrics
+        metrics.counter("service.query_total").inc()
+        try:
+            key = self._validate(collective, comm_size, msg_bytes, pattern)
+            self._maybe_reload()
+            with self._lock:
+                self.stats.queries += 1
+                reply = self._cache.get(key)
+                if reply is not None:
+                    self._cache.move_to_end(key)
+                    self.stats.cache_hits += 1
+                    metrics.counter("service.cache_hit_total").inc()
+                    return dict(reply)
+                reply = self._resolve(*key)
+                self._cache[key] = reply
+                if len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+                return dict(reply)
+        except Exception:
+            self.stats.errors += 1
+            metrics.counter("service.error_total").inc()
+            raise
+        finally:
+            metrics.histogram("service.query_seconds").observe(
+                time.perf_counter() - started)
+
+    def query_batch(self, queries: Sequence[dict]) -> list[dict]:
+        """Resolve many queries with one reload check and one lock pass.
+
+        Each entry is a dict of :meth:`query` keyword arguments.  The
+        batch is all-or-nothing for *validation* errors (the wire layer
+        degrades per-item instead — see
+        :func:`repro.service.server.handle_request`).
+        """
+        started = time.perf_counter()
+        metrics = _obs_current().metrics
+        metrics.counter("service.query_total").inc(len(queries))
+        keys = [self._validate(q.get("collective"), q.get("comm_size"),
+                               q.get("msg_bytes"), q.get("pattern"))
+                for q in queries]
+        self._maybe_reload()
+        replies: list[dict] = []
+        hits = 0
+        with self._lock:
+            self.stats.queries += len(keys)
+            for key in keys:
+                reply = self._cache.get(key)
+                if reply is not None:
+                    self._cache.move_to_end(key)
+                    hits += 1
+                else:
+                    reply = self._resolve(*key)
+                    self._cache[key] = reply
+                    if len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+                replies.append(dict(reply))
+            self.stats.cache_hits += hits
+        if hits:
+            metrics.counter("service.cache_hit_total").inc(hits)
+        metrics.histogram("service.query_seconds").observe(
+            time.perf_counter() - started)
+        return replies
+
+    # -- internals ------------------------------------------------------- #
+
+    @staticmethod
+    def _validate(collective, comm_size, msg_bytes, pattern) -> tuple:
+        """Normalize one query into its cache key, rejecting bad shapes."""
+        if not isinstance(collective, str) or not collective:
+            raise ConfigurationError(
+                f"collective must be a non-empty string, got {collective!r}"
+            )
+        if isinstance(comm_size, bool) or not isinstance(comm_size, int) \
+                or comm_size <= 0:
+            raise ConfigurationError(
+                f"comm_size must be a positive integer, got {comm_size!r}"
+            )
+        if isinstance(msg_bytes, bool) \
+                or not isinstance(msg_bytes, (int, float)) or msg_bytes < 0:
+            raise ConfigurationError(
+                f"msg_bytes must be a non-negative number, got {msg_bytes!r}"
+            )
+        if pattern is not None and not isinstance(pattern, str):
+            raise ConfigurationError(
+                f"pattern must be a string or null, got {pattern!r}"
+            )
+        return collective, comm_size, float(msg_bytes), pattern or None
+
+    def _resolve(self, collective: str, comm_size: int, msg_bytes: float,
+                 pattern: str | None) -> dict:
+        """Layered lookup (called under the lock, result goes in the cache)."""
+        tables = self._tables
+        if pattern is not None:
+            ptable = tables.pattern_tables.get(pattern)
+            if ptable is not None:
+                try:
+                    algorithm = ptable.lookup(collective, comm_size, msg_bytes)
+                except ConfigurationError:
+                    pass
+                else:
+                    self.stats.pattern_hits += 1
+                    return self._reply(collective, comm_size, msg_bytes,
+                                       pattern, algorithm, SOURCE_PATTERN,
+                                       ptable.strategy_name)
+        if tables.table is not None:
+            try:
+                algorithm = tables.table.lookup(collective, comm_size,
+                                                msg_bytes)
+            except ConfigurationError:
+                pass
+            else:
+                return self._reply(collective, comm_size, msg_bytes, pattern,
+                                   algorithm, SOURCE_STORE,
+                                   tables.table.strategy_name)
+        if self.fallback:
+            from repro.collectives.tuned import fixed_decision
+
+            algorithm = fixed_decision(collective, comm_size, msg_bytes)
+            self.stats.fallbacks += 1
+            _obs_current().metrics.counter("service.fallback_total").inc()
+            return self._reply(collective, comm_size, msg_bytes, pattern,
+                               algorithm, SOURCE_FALLBACK, "")
+        raise ConfigurationError(
+            f"no rule covers {collective!r} at comm_size={comm_size}, "
+            f"msg_bytes={msg_bytes:g} (fallback disabled)"
+        )
+
+    @staticmethod
+    def _reply(collective, comm_size, msg_bytes, pattern, algorithm, source,
+               strategy) -> dict:
+        return {
+            "collective": collective,
+            "comm_size": comm_size,
+            "msg_bytes": msg_bytes,
+            "pattern": pattern,
+            "algorithm": algorithm,
+            "source": source,
+            "strategy": strategy,
+        }
+
+
+__all__ = [
+    "SelectionService",
+    "ServiceStats",
+    "SOURCE_PATTERN",
+    "SOURCE_STORE",
+    "SOURCE_FALLBACK",
+]

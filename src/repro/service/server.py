@@ -1,0 +1,204 @@
+"""Newline-delimited-JSON TCP front-end for the selection service.
+
+Wire protocol (one JSON object per line, both directions)::
+
+    -> {"collective": "alltoall", "comm_size": 16, "msg_bytes": 1024}
+    <- {"ok": true, "collective": "alltoall", ..., "algorithm": "pairwise",
+        "source": "store", "strategy": "robust_average"}
+
+    -> {"op": "batch", "queries": [{...}, {...}]}
+    <- {"ok": true, "op": "batch", "replies": [{"ok": true, ...}, ...]}
+
+    -> {"op": "ping"}        <- {"ok": true, "op": "ping", "version": 1}
+    -> {"op": "stats"}       <- {"ok": true, "op": "stats", "stats": {...}}
+    -> {"op": "reload"}      <- {"ok": true, "op": "reload", "reloads": N}
+
+``op`` defaults to ``"query"``.  Every failure — malformed JSON, a missing
+field, an unknown collective — produces a structured error reply
+``{"ok": false, "error": "<ExceptionName>", "detail": "..."}`` on the same
+line; the connection stays up and the server never crashes on bad input.
+In a batch, failures degrade per item.
+
+:class:`SelectionServer` is a thread-per-connection
+:class:`socketserver.ThreadingTCPServer`; requests on one connection
+pipeline (send N lines, read N replies).  ``repro-mpi serve`` wires SIGHUP
+to :meth:`~repro.service.core.SelectionService.reload` on top of the
+service's own store-mtime watching.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socketserver
+import threading
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.core import SelectionService
+
+#: Bumped when the wire protocol changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Fields a query request may carry (plus "op").
+_QUERY_FIELDS = ("collective", "comm_size", "msg_bytes", "pattern")
+
+
+def error_reply(exc: BaseException) -> dict:
+    """The structured error form of any exception."""
+    name = type(exc).__name__ if isinstance(exc, ReproError) else "InternalError"
+    return {"ok": False, "error": name, "detail": str(exc)}
+
+
+def encode_reply(reply: dict) -> bytes:
+    """One reply as a compact NDJSON line (the byte-identity unit the
+    parity tests compare)."""
+    return json.dumps(reply, sort_keys=True, separators=(",", ":")).encode() + b"\n"
+
+
+def handle_request(service: "SelectionService", request: object) -> dict:
+    """Dispatch one decoded request; always returns a reply dict.
+
+    This is the whole protocol: the TCP handler and the in-process client
+    both call it, so tests over :class:`~repro.service.client.InProcessClient`
+    exercise exactly what the socket serves.
+    """
+    if not isinstance(request, dict):
+        return {"ok": False, "error": "ProtocolError",
+                "detail": f"request must be an object, got "
+                          f"{type(request).__name__}"}
+    op = request.get("op", "query")
+    try:
+        if op == "query":
+            missing = [f for f in ("collective", "comm_size", "msg_bytes")
+                       if f not in request]
+            if missing:
+                return {"ok": False, "error": "ProtocolError",
+                        "detail": f"query missing fields {missing}"}
+            return {"ok": True,
+                    **service.query(**{f: request.get(f)
+                                       for f in _QUERY_FIELDS})}
+        if op == "batch":
+            queries = request.get("queries")
+            if not isinstance(queries, list):
+                return {"ok": False, "error": "ProtocolError",
+                        "detail": "batch needs a 'queries' list"}
+            replies = []
+            for q in queries:
+                replies.append(handle_request(service, {**q, "op": "query"})
+                               if isinstance(q, dict)
+                               else {"ok": False, "error": "ProtocolError",
+                                     "detail": "batch entries must be objects"})
+            return {"ok": True, "op": "batch", "replies": replies}
+        if op == "ping":
+            return {"ok": True, "op": "ping", "version": PROTOCOL_VERSION}
+        if op == "stats":
+            return {"ok": True, "op": "stats",
+                    "stats": service.stats.snapshot(),
+                    "cache_entries": service.cache_len(),
+                    "strategy": service.strategy}
+        if op == "reload":
+            service.reload()
+            return {"ok": True, "op": "reload",
+                    "reloads": service.stats.reloads}
+        return {"ok": False, "error": "ProtocolError",
+                "detail": f"unknown op {op!r}"}
+    except Exception as exc:  # noqa: BLE001 - the wire never crashes
+        return error_reply(exc)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except ValueError as exc:
+                reply = {"ok": False, "error": "ProtocolError",
+                         "detail": f"malformed JSON: {exc}"}
+            else:
+                reply = handle_request(self.server.service, request)
+            try:
+                self.wfile.write(encode_reply(reply))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    service: "SelectionService"
+
+
+class SelectionServer:
+    """Serve a :class:`SelectionService` over TCP (NDJSON, one thread per
+    connection).  ``port=0`` binds an ephemeral port — read it back from
+    :attr:`address`."""
+
+    def __init__(self, service: "SelectionService",
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp.service = service
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) actually bound."""
+        host, port = self._tcp.server_address[:2]
+        return host, port
+
+    def start(self) -> "SelectionServer":
+        """Serve in a daemon thread (the test/embedding entry point)."""
+        self._thread = threading.Thread(target=self._tcp.serve_forever,
+                                        name="repro-selection-server",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` (the CLI path)."""
+        self._tcp.serve_forever()
+
+    def stop(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "SelectionServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def install_sighup_reload(service: "SelectionService"):
+    """Make SIGHUP hot-reload ``service``; returns the previous handler.
+
+    Only possible from the main thread (a Python signal-module rule);
+    callers on other threads should rely on the service's store-mtime
+    watching instead.  Returns ``None`` when SIGHUP does not exist or this
+    is not the main thread.
+    """
+    if not hasattr(signal, "SIGHUP"):  # pragma: no cover - non-POSIX
+        return None
+    if threading.current_thread() is not threading.main_thread():
+        return None
+    return signal.signal(signal.SIGHUP, lambda _sig, _frame: service.reload())
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SelectionServer",
+    "handle_request",
+    "encode_reply",
+    "error_reply",
+    "install_sighup_reload",
+]

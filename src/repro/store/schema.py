@@ -1,0 +1,136 @@
+"""Versioned schema + migration runner for the tuning store.
+
+The store's schema is a linear sequence of migrations; the version a
+database file is at lives in SQLite's ``PRAGMA user_version`` (0 for a
+brand-new or empty file).  :func:`migrate` applies every migration above
+the file's current version, in order, committing after each step — so any
+store file ever written by this package opens cleanly under any newer
+version of the code, and an empty v0 file migrates all the way to
+:data:`LATEST_VERSION`.
+
+Schema (v2):
+
+``provenance``
+    Where a row of data came from: the observability run ID, the package's
+    model version, a hash over the harness (platform + network) parameters,
+    and ``git describe`` of the producing checkout.
+``sweeps``
+    One row per ingested :class:`~repro.bench.results.SweepResult` —
+    content-addressed by the SHA-256 of its canonical JSON, so re-ingesting
+    an identical sweep is a no-op.
+``bench_results``
+    One row per benchmark cell (a :class:`~repro.bench.results.BenchResult`),
+    content-addressed the same way; optionally linked to the sweep it
+    belongs to.  The full result payload is stored as JSON, so a store
+    round-trips bit-exact results.
+``rules``
+    Strategy-built selection rules — the persistent form of a
+    :class:`~repro.selection.table.SelectionTable` — keyed by
+    ``(strategy, collective, comm_size, msg_bytes, pattern)``.  An empty
+    ``pattern`` is the pattern-agnostic rule a strategy produced;
+    non-empty patterns hold per-pattern best picks for pattern-conditioned
+    queries.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.errors import StoreError
+
+_V1 = """
+CREATE TABLE IF NOT EXISTS provenance (
+    id INTEGER PRIMARY KEY,
+    run_id TEXT NOT NULL DEFAULT '',
+    model_version TEXT NOT NULL DEFAULT '',
+    params_hash TEXT NOT NULL DEFAULT '',
+    git_describe TEXT NOT NULL DEFAULT '',
+    created_at TEXT NOT NULL DEFAULT '',
+    UNIQUE (run_id, model_version, params_hash, git_describe)
+);
+
+CREATE TABLE IF NOT EXISTS sweeps (
+    id INTEGER PRIMARY KEY,
+    content_hash TEXT NOT NULL UNIQUE,
+    collective TEXT NOT NULL,
+    comm_size INTEGER NOT NULL,
+    msg_bytes REAL NOT NULL,
+    machine TEXT NOT NULL DEFAULT '',
+    skew_by_pattern TEXT NOT NULL DEFAULT '{}',
+    per_algorithm_skews TEXT NOT NULL DEFAULT '{}',
+    provenance_id INTEGER REFERENCES provenance(id)
+);
+CREATE INDEX IF NOT EXISTS idx_sweeps_coord
+    ON sweeps (collective, comm_size, msg_bytes);
+
+CREATE TABLE IF NOT EXISTS bench_results (
+    id INTEGER PRIMARY KEY,
+    content_hash TEXT NOT NULL UNIQUE,
+    sweep_id INTEGER REFERENCES sweeps(id),
+    collective TEXT NOT NULL,
+    algorithm TEXT NOT NULL,
+    msg_bytes REAL NOT NULL,
+    num_ranks INTEGER NOT NULL,
+    pattern TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    provenance_id INTEGER REFERENCES provenance(id)
+);
+CREATE INDEX IF NOT EXISTS idx_results_sweep ON bench_results (sweep_id);
+
+CREATE TABLE IF NOT EXISTS rules (
+    id INTEGER PRIMARY KEY,
+    strategy TEXT NOT NULL,
+    collective TEXT NOT NULL,
+    comm_size INTEGER NOT NULL,
+    msg_bytes REAL NOT NULL,
+    pattern TEXT NOT NULL DEFAULT '',
+    algorithm TEXT NOT NULL,
+    provenance_id INTEGER REFERENCES provenance(id),
+    UNIQUE (strategy, collective, comm_size, msg_bytes, pattern)
+);
+"""
+
+# v2: the selection service's hot path resolves cells by coordinate, not by
+# sweep — cover the query with one index.
+_V2 = """
+CREATE INDEX IF NOT EXISTS idx_results_coord
+    ON bench_results (collective, num_ranks, msg_bytes, pattern);
+"""
+
+#: Ordered (version, SQL script) pairs; append-only across releases.
+MIGRATIONS: list[tuple[int, str]] = [(1, _V1), (2, _V2)]
+
+LATEST_VERSION = MIGRATIONS[-1][0]
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    """The schema version a connection's database file is at (0 = empty)."""
+    return int(conn.execute("PRAGMA user_version").fetchone()[0])
+
+
+def migrate(conn: sqlite3.Connection) -> list[int]:
+    """Bring ``conn`` to :data:`LATEST_VERSION`; returns the versions applied.
+
+    Each migration commits individually, so a failure mid-sequence leaves
+    the file at the last fully-applied version (re-opening resumes there).
+    A file *newer* than this code is refused — downgrading cannot be safe.
+    """
+    current = schema_version(conn)
+    if current > LATEST_VERSION:
+        raise StoreError(
+            f"store schema is v{current}, but this code only knows up to "
+            f"v{LATEST_VERSION}; upgrade the repro package to open it"
+        )
+    applied: list[int] = []
+    for version, script in MIGRATIONS:
+        if version <= current:
+            continue
+        conn.executescript(script)
+        # PRAGMA takes no bound parameters; version is a trusted literal int.
+        conn.execute(f"PRAGMA user_version = {int(version)}")
+        conn.commit()
+        applied.append(version)
+    return applied
+
+
+__all__ = ["MIGRATIONS", "LATEST_VERSION", "schema_version", "migrate"]

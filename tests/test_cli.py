@@ -104,6 +104,63 @@ class TestMain:
         warm = (tmp_path / "warm" / "sweeps.json").read_bytes()
         assert cold == warm
 
+    def test_tune_store_then_query_roundtrip(self, capsys, tmp_path):
+        store = tmp_path / "tuning.db"
+        code = main([
+            "tune", "--machine", "simcluster", "--nodes", "2", "--cores", "2",
+            "--collectives", "alltoall", "--sizes", "64",
+            "--out", str(tmp_path / "tuned"), "--store", str(store),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "+1 sweeps" in out
+        assert store.exists()
+        # Offline query answers from the store the campaign just filled.
+        assert main(["query", "alltoall", "4", "64",
+                     "--store", str(store), "--json"]) == 0
+        reply = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert reply["ok"] is True
+        assert reply["source"] == "store"
+        from repro.selection.table import SelectionTable
+
+        offline = SelectionTable.from_store(store)
+        assert reply["algorithm"] == offline.lookup("alltoall", 4, 64)
+
+    def test_tune_store_rerun_is_idempotent(self, capsys, tmp_path):
+        argv = [
+            "tune", "--machine", "simcluster", "--nodes", "2", "--cores", "2",
+            "--collectives", "alltoall", "--sizes", "64",
+            "--out", str(tmp_path / "tuned"), "--store",
+            str(tmp_path / "tuning.db"),
+        ]
+        assert main(argv) == 0
+        assert "+1 sweeps" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "+0 sweeps" in capsys.readouterr().out
+
+    def test_cache_stats_and_gc(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "tune", "--machine", "simcluster", "--nodes", "2", "--cores", "2",
+            "--collectives", "alltoall", "--sizes", "64",
+            "--out", str(tmp_path / "tuned"), "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and str(cache_dir) in out
+        # Evict everything; stats then reports an empty cache.
+        assert main(["cache", "gc", "--max-bytes", "0",
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert "evicted" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_without_dir_fails_cleanly(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "REPRO_CACHE_DIR" in capsys.readouterr().err
+
     def test_ext_subcommands_fast(self, capsys):
         assert main(["ext-nonblocking", "--nodes", "2", "--cores", "4",
                      "--fast"]) == 0

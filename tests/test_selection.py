@@ -115,6 +115,133 @@ class TestSelectionTable:
         assert back.lookup("alltoall", 16, 32768) == "pairwise"
         assert back.lookup("reduce", 16, 8) == "binomial"
 
+    def test_comm_size_nearest_below_fallback_direct(self):
+        """The largest tuned comm size at or below the query applies."""
+        table = SelectionTable()
+        table.add_rule("allreduce", 16, 0.0, "ring")
+        table.add_rule("allreduce", 64, 0.0, "rabenseifner")
+        # Between buckets: 16 <= 63 < 64 resolves to the 16-rank rules.
+        assert table.lookup("allreduce", 63, 1024) == "ring"
+        # Exactly on a bucket boundary uses that bucket.
+        assert table.lookup("allreduce", 64, 1024) == "rabenseifner"
+        # Above every bucket: the largest tuned size applies.
+        assert table.lookup("allreduce", 10_000, 1024) == "rabenseifner"
+        # Below every bucket: clamps up to the smallest tuned size.
+        assert table.lookup("allreduce", 2, 1024) == "ring"
+
+    def test_msg_size_below_smallest_bucket_clamps(self):
+        """A query smaller than every tuned size uses the smallest rule."""
+        table = SelectionTable()
+        table.add_rule("alltoall", 16, 1024.0, "bruck")
+        table.add_rule("alltoall", 16, 65536.0, "pairwise")
+        assert table.lookup("alltoall", 16, 0) == "bruck"
+        assert table.lookup("alltoall", 16, 1023) == "bruck"
+        assert table.lookup("alltoall", 16, 1024) == "bruck"
+        assert table.lookup("alltoall", 16, 65535) == "bruck"
+        assert table.lookup("alltoall", 16, 1 << 20) == "pairwise"
+
+
+class TestTableValidation:
+    """load_json / from_dict reject malformed files with a pathful error."""
+
+    def _load(self, tmp_path, payload) -> SelectionTable:
+        import json
+
+        path = tmp_path / "table.json"
+        path.write_text(json.dumps(payload))
+        return SelectionTable.load_json(path)
+
+    def test_to_dict_carries_version(self):
+        from repro.selection.table import TABLE_FORMAT_VERSION
+
+        data = SelectionTable(strategy_name="s").to_dict()
+        assert data["version"] == TABLE_FORMAT_VERSION
+
+    def test_legacy_file_without_version_loads(self, tmp_path):
+        table = self._load(tmp_path, {
+            "strategy": "legacy",
+            "rules": [{"collective": "alltoall", "comm_size": 8,
+                       "msg_bytes": 64.0, "algorithm": "bruck"}],
+        })
+        assert table.lookup("alltoall", 8, 64) == "bruck"
+
+    def test_invalid_json_names_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            SelectionTable.load_json(path)
+
+    def test_non_object_top_level_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="top level"):
+            self._load(tmp_path, [1, 2, 3])
+
+    def test_unknown_top_level_key_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown keys.*surprise"):
+            self._load(tmp_path, {"strategy": "s", "rules": [], "surprise": 1})
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match=r"version"):
+            self._load(tmp_path, {"version": 999, "strategy": "s", "rules": []})
+
+    def test_non_list_rules_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match=r"rules: expected a list"):
+            self._load(tmp_path, {"strategy": "s", "rules": {"a": 1}})
+
+    def test_non_dict_rule_entry_names_index(self, tmp_path):
+        with pytest.raises(ConfigurationError, match=r"rules\[1\]"):
+            self._load(tmp_path, {
+                "strategy": "s",
+                "rules": [{"collective": "alltoall", "comm_size": 8,
+                           "msg_bytes": 8.0, "algorithm": "bruck"},
+                          "oops"],
+            })
+
+    def test_non_numeric_msg_bytes_names_path(self, tmp_path):
+        with pytest.raises(ConfigurationError,
+                           match=r"rules\[0\]\.msg_bytes"):
+            self._load(tmp_path, {
+                "strategy": "s",
+                "rules": [{"collective": "alltoall", "comm_size": 8,
+                           "msg_bytes": "big", "algorithm": "bruck"}],
+            })
+
+    def test_bool_msg_bytes_is_not_a_number(self, tmp_path):
+        with pytest.raises(ConfigurationError,
+                           match=r"rules\[0\]\.msg_bytes"):
+            self._load(tmp_path, {
+                "strategy": "s",
+                "rules": [{"collective": "alltoall", "comm_size": 8,
+                           "msg_bytes": True, "algorithm": "bruck"}],
+            })
+
+    def test_unknown_rule_key_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError,
+                           match=r"rules\[0\]: unknown keys.*extra"):
+            self._load(tmp_path, {
+                "strategy": "s",
+                "rules": [{"collective": "alltoall", "comm_size": 8,
+                           "msg_bytes": 8.0, "algorithm": "bruck",
+                           "extra": 1}],
+            })
+
+    def test_missing_rule_key_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError,
+                           match=r"rules\[0\]: missing.*algorithm"):
+            self._load(tmp_path, {
+                "strategy": "s",
+                "rules": [{"collective": "alltoall", "comm_size": 8,
+                           "msg_bytes": 8.0}],
+            })
+
+    def test_fractional_comm_size_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError,
+                           match=r"rules\[0\]\.comm_size"):
+            self._load(tmp_path, {
+                "strategy": "s",
+                "rules": [{"collective": "alltoall", "comm_size": 8.5,
+                           "msg_bytes": 8.0, "algorithm": "bruck"}],
+            })
+
 
 class TestOmpiRulesExport:
     def test_export_format(self, tmp_path):

@@ -55,6 +55,27 @@ class TestPatternClassifier:
         with pytest.raises(ConfigurationError):
             PatternClassifier(num_ranks=0)
 
+    def test_all_zero_delays_are_no_delay_with_zero_magnitude(self):
+        clf = PatternClassifier(num_ranks=8)
+        detected, magnitude = clf.classify(np.zeros(8))
+        assert detected == "no_delay"
+        assert magnitude == 0.0
+
+    def test_single_rank_always_no_delay(self):
+        """One rank has no arrival *pattern* by definition."""
+        clf = PatternClassifier(num_ranks=1)
+        for value in (0.0, 1.0, 123.456):
+            detected, magnitude = clf.classify(np.array([value]))
+            assert detected == "no_delay"
+            assert magnitude == 0.0
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_delays_rejected(self, bad):
+        clf = PatternClassifier(num_ranks=4)
+        delays = np.array([0.0, 1.0, 2.0, bad])
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            clf.classify(delays)
+
 
 def _sweep_with_per_pattern_winners(num_ranks=8):
     """Synthetic sweep: 'fastpath' wins no_delay, 'sturdy' wins under skew."""

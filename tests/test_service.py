@@ -1,0 +1,351 @@
+"""Tests for the concurrent selection service: offline parity, caching,
+fallback, the NDJSON protocol, TCP concurrency, and hot reload."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.bench.metrics import CollectiveTiming
+from repro.bench.results import BenchResult, SweepResult
+from repro.selection import RobustAverageSelector
+from repro.selection.table import SelectionTable
+from repro.service import (
+    SOURCE_FALLBACK,
+    SOURCE_PATTERN,
+    SOURCE_STORE,
+    InProcessClient,
+    SelectionClient,
+    SelectionServer,
+    SelectionService,
+    handle_request,
+    install_sighup_reload,
+)
+from repro.service.server import encode_reply
+from repro.store import TuningStore
+
+
+def _sweep(collective="alltoall", msg_bytes=1024.0, num_ranks=4) -> SweepResult:
+    sweep = SweepResult(collective, msg_bytes, num_ranks, machine="testbox")
+    grid = {
+        "no_delay": {"bruck": 1.0, "pairwise": 2.0},
+        "ascending": {"bruck": 5.0, "pairwise": 2.5},
+    }
+    for pattern, row in grid.items():
+        sweep.skew_by_pattern[pattern] = 0.0 if pattern == "no_delay" else 1e-3
+        for algo, delay in row.items():
+            timing = CollectiveTiming(np.zeros(2), np.full(2, delay))
+            sweep.add(BenchResult(collective, algo, msg_bytes, num_ranks,
+                                  pattern, 0.0, [timing]))
+    return sweep
+
+
+@pytest.fixture
+def seeded_store(tmp_path):
+    """A store holding a small campaign's sweeps, rules, and pattern picks."""
+    from repro.bench.campaign import CampaignResult
+
+    table = SelectionTable(strategy_name="robust_average")
+    sweeps, winners = {}, {}
+    for coll in ("alltoall", "allreduce"):
+        for size in (1024.0, 65536.0):
+            sweep = _sweep(coll, size)
+            winners[(coll, size)] = table.add_sweep(sweep,
+                                                    RobustAverageSelector())
+            sweeps[(coll, size)] = sweep
+    path = tmp_path / "tuning.db"
+    with TuningStore(path) as store:
+        store.ingest_campaign(
+            CampaignResult(table=table, sweeps=sweeps, winners=winners),
+            run_id="seed",
+        )
+    return path
+
+
+class TestServiceQueries:
+    def test_offline_parity(self, seeded_store):
+        """Service answers == direct SelectionTable.lookup (acceptance)."""
+        offline = SelectionTable.from_store(seeded_store)
+        with SelectionService(seeded_store) as service:
+            for coll in ("alltoall", "allreduce"):
+                for size in (8, 1024, 4096, 65536, 1 << 20):
+                    reply = service.query(coll, 4, size)
+                    assert reply["algorithm"] == offline.lookup(coll, 4, size)
+                    assert reply["source"] == SOURCE_STORE
+                    assert reply["strategy"] == "robust_average"
+
+    def test_pattern_conditioned_answers_use_pattern_table(self, seeded_store):
+        with SelectionService(seeded_store) as service:
+            agnostic = service.query("alltoall", 4, 1024)
+            patterned = service.query("alltoall", 4, 1024, "ascending")
+        # robust_average picks bruck overall, but under ascending skew the
+        # per-pattern oracle row favors pairwise (2.5 vs 5.0).
+        assert agnostic["algorithm"] == "bruck"
+        assert patterned["algorithm"] == "pairwise"
+        assert patterned["source"] == SOURCE_PATTERN
+
+    def test_unknown_pattern_falls_through_to_strategy_table(self, seeded_store):
+        with SelectionService(seeded_store) as service:
+            reply = service.query("alltoall", 4, 1024, "zigzag")
+        assert reply["source"] == SOURCE_STORE
+
+    def test_fallback_for_uncovered_collective(self, seeded_store):
+        with SelectionService(seeded_store) as service:
+            reply = service.query("bcast", 16, 1024)
+            assert reply["source"] == SOURCE_FALLBACK
+            assert reply["algorithm"]
+            assert service.stats.fallbacks == 1
+
+    def test_fallback_disabled_raises(self, seeded_store):
+        with SelectionService(seeded_store, fallback=False) as service:
+            with pytest.raises(ConfigurationError, match="no rule covers"):
+                service.query("bcast", 16, 1024)
+            assert service.stats.errors == 1
+
+    def test_unknown_collective_raises_even_with_fallback(self, seeded_store):
+        with SelectionService(seeded_store) as service:
+            with pytest.raises(ConfigurationError):
+                service.query("no_such_collective", 4, 8)
+
+    @pytest.mark.parametrize("bad", [
+        {"collective": "", "comm_size": 4, "msg_bytes": 8},
+        {"collective": "alltoall", "comm_size": 0, "msg_bytes": 8},
+        {"collective": "alltoall", "comm_size": True, "msg_bytes": 8},
+        {"collective": "alltoall", "comm_size": 4, "msg_bytes": -1},
+        {"collective": "alltoall", "comm_size": 4, "msg_bytes": "big"},
+        {"collective": "alltoall", "comm_size": 4, "msg_bytes": 8,
+         "pattern": 7},
+    ])
+    def test_invalid_coordinates_rejected(self, seeded_store, bad):
+        with SelectionService(seeded_store) as service:
+            with pytest.raises(ConfigurationError):
+                service.query(bad.get("collective"), bad.get("comm_size"),
+                              bad.get("msg_bytes"), bad.get("pattern"))
+
+    def test_table_only_service_without_store(self):
+        table = SelectionTable(strategy_name="manual")
+        table.add_rule("alltoall", 8, 0.0, "bruck")
+        with SelectionService(table=table) as service:
+            assert service.query("alltoall", 8, 64)["algorithm"] == "bruck"
+
+    def test_service_needs_store_or_table(self):
+        with pytest.raises(ConfigurationError):
+            SelectionService()
+
+    def test_empty_store_serves_fallback_only(self, tmp_path):
+        path = tmp_path / "empty.db"
+        TuningStore(path).close()
+        with SelectionService(path) as service:
+            reply = service.query("alltoall", 8, 64)
+        assert reply["source"] == SOURCE_FALLBACK
+        assert reply["strategy"] == ""
+
+
+class TestCaching:
+    def test_repeat_queries_hit_the_cache(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False) as service:
+            first = service.query("alltoall", 4, 1024)
+            second = service.query("alltoall", 4, 1024)
+        assert first == second
+        assert service.stats.queries == 2
+        assert service.stats.cache_hits == 1
+
+    def test_lru_evicts_oldest_entry(self, seeded_store):
+        with SelectionService(seeded_store, cache_size=2,
+                              watch_store=False) as service:
+            service.query("alltoall", 4, 8)       # A
+            service.query("alltoall", 4, 1024)    # B
+            service.query("alltoall", 4, 8)       # A again: hit, A now MRU
+            service.query("allreduce", 4, 8)      # C evicts B
+            assert service.cache_len() == 2
+            service.query("alltoall", 4, 1024)    # B again: miss
+        assert service.stats.cache_hits == 1
+
+    def test_query_batch_matches_single_queries(self, seeded_store):
+        queries = [
+            {"collective": "alltoall", "comm_size": 4, "msg_bytes": 1024},
+            {"collective": "allreduce", "comm_size": 4, "msg_bytes": 8,
+             "pattern": "ascending"},
+            {"collective": "alltoall", "comm_size": 4, "msg_bytes": 1024},
+        ]
+        with SelectionService(seeded_store, watch_store=False) as service:
+            singles = [service.query(q["collective"], q["comm_size"],
+                                     q["msg_bytes"], q.get("pattern"))
+                       for q in queries]
+        with SelectionService(seeded_store, watch_store=False) as service:
+            batched = service.query_batch(queries)
+        assert batched == singles
+
+
+class TestProtocol:
+    def test_query_reply_shape(self, seeded_store):
+        with SelectionService(seeded_store) as service:
+            reply = handle_request(service, {
+                "op": "query", "collective": "alltoall",
+                "comm_size": 4, "msg_bytes": 1024,
+            })
+        assert reply["ok"] is True
+        assert set(reply) == {"ok", "collective", "comm_size", "msg_bytes",
+                              "pattern", "algorithm", "source", "strategy"}
+
+    def test_missing_fields_is_protocol_error(self, seeded_store):
+        with SelectionService(seeded_store) as service:
+            reply = handle_request(service, {"op": "query"})
+        assert reply["ok"] is False
+        assert reply["error"] == "ProtocolError"
+        assert "collective" in reply["detail"]
+
+    def test_domain_error_is_structured(self, seeded_store):
+        with SelectionService(seeded_store) as service:
+            reply = handle_request(service, {
+                "collective": "alltoall", "comm_size": -1, "msg_bytes": 8,
+            })
+        assert reply["ok"] is False
+        assert reply["error"] == "ConfigurationError"
+        assert "comm_size" in reply["detail"]
+
+    def test_unknown_op_rejected(self, seeded_store):
+        with SelectionService(seeded_store) as service:
+            reply = handle_request(service, {"op": "frobnicate"})
+        assert reply == {"ok": False, "error": "ProtocolError",
+                         "detail": "unknown op 'frobnicate'"}
+
+    def test_batch_degrades_per_item(self, seeded_store):
+        with SelectionService(seeded_store) as service:
+            reply = handle_request(service, {"op": "batch", "queries": [
+                {"collective": "alltoall", "comm_size": 4, "msg_bytes": 8},
+                {"collective": "alltoall"},
+                "not an object",
+            ]})
+        assert reply["ok"] is True
+        oks = [r["ok"] for r in reply["replies"]]
+        assert oks == [True, False, False]
+
+    def test_in_process_client_checks_errors(self, seeded_store):
+        with SelectionService(seeded_store) as service:
+            client = InProcessClient(service)
+            assert client.ping()["version"] >= 1
+            with pytest.raises(ServiceError) as excinfo:
+                client.query("alltoall", -1, 8)
+            assert excinfo.value.reply["error"] == "ConfigurationError"
+            raw = client.query("alltoall", -1, 8, check=False)
+            assert raw["ok"] is False
+
+
+class TestTCPServer:
+    def test_concurrent_tcp_clients_match_offline(self, seeded_store):
+        """8 threads x concurrent queries; replies byte-identical to the
+        in-process client (and therefore to SelectionTable.lookup)."""
+        offline = SelectionTable.from_store(seeded_store)
+        coords = [("alltoall", 4, size) for size in (8, 1024, 4096, 65536)] \
+            + [("allreduce", 4, size) for size in (8, 1024, 65536, 1 << 20)]
+        service = SelectionService(seeded_store, watch_store=False)
+        failures: list[str] = []
+        with SelectionServer(service) as server:
+            host, port = server.address
+
+            def worker() -> None:
+                try:
+                    with SelectionClient(host, port) as client:
+                        for coll, ranks, size in coords * 3:
+                            reply = client.query(coll, ranks, size)
+                            expected = offline.lookup(coll, ranks, size)
+                            if reply["algorithm"] != expected:
+                                failures.append(f"{coll}/{size}: "
+                                                f"{reply['algorithm']}")
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    failures.append(repr(exc))
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        service.close()
+        assert not failures
+        assert service.stats.queries == 8 * len(coords) * 3
+        assert service.stats.errors == 0
+
+    def test_wire_bytes_match_in_process_encoding(self, seeded_store):
+        """The TCP reply line is byte-identical to encode_reply(handle_request)."""
+        import socket
+
+        service = SelectionService(seeded_store, watch_store=False)
+        request = {"collective": "alltoall", "comm_size": 4, "msg_bytes": 1024}
+        with SelectionServer(service) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                f = sock.makefile("rwb")
+                f.write(json.dumps(request).encode() + b"\n")
+                f.flush()
+                wire_line = f.readline()
+        expected = encode_reply(handle_request(service, dict(request)))
+        service.close()
+        assert wire_line == expected
+
+    def test_malformed_json_gets_error_line_and_connection_survives(
+            self, seeded_store):
+        import socket
+
+        service = SelectionService(seeded_store, watch_store=False)
+        with SelectionServer(service) as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=10) as sock:
+                f = sock.makefile("rwb")
+                f.write(b"{broken\n")
+                f.flush()
+                error = json.loads(f.readline())
+                f.write(b'{"op": "ping"}\n')
+                f.flush()
+                pong = json.loads(f.readline())
+        service.close()
+        assert error["ok"] is False and error["error"] == "ProtocolError"
+        assert pong["ok"] is True
+
+
+class TestHotReload:
+    def _add_rule(self, path, algorithm):
+        with TuningStore(path) as store:
+            store.add_rule("robust_average", "scatter", 4, 0.0, algorithm)
+
+    def test_store_change_triggers_reload(self, seeded_store):
+        with SelectionService(seeded_store, reload_interval=0.0) as service:
+            assert service.query("scatter", 4, 8)["source"] == SOURCE_FALLBACK
+            self._add_rule(seeded_store, "binomial")
+            reply = service.query("scatter", 4, 8)
+        assert reply["source"] == SOURCE_STORE
+        assert reply["algorithm"] == "binomial"
+        assert service.stats.reloads >= 1
+
+    def test_manual_reload_drops_cache(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False) as service:
+            service.query("alltoall", 4, 1024)
+            assert service.cache_len() == 1
+            service.reload()
+            assert service.cache_len() == 0
+            assert service.stats.reloads == 1
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGHUP"),
+                        reason="SIGHUP is POSIX-only")
+    def test_sighup_reloads(self, seeded_store):
+        service = SelectionService(seeded_store, watch_store=False)
+        previous = install_sighup_reload(service)
+        assert previous is not None or \
+            threading.current_thread() is not threading.main_thread()
+        if previous is None:  # pragma: no cover - non-main-thread runner
+            pytest.skip("not on the main thread")
+        try:
+            self._add_rule(seeded_store, "binomial")
+            os.kill(os.getpid(), signal.SIGHUP)
+            reply = service.query("scatter", 4, 8)
+            assert reply["algorithm"] == "binomial"
+            assert service.stats.reloads == 1
+        finally:
+            signal.signal(signal.SIGHUP, previous)
+            service.close()
