@@ -70,6 +70,9 @@ class CampaignResult:
     #: Ingest counters from the tuning store, when the campaign had one
     #: (``{"new_sweeps": N, "rules_written": N}``).
     store_ingest: dict | None = None
+    #: Guideline lint report over the campaign's data, when ``lint_after``
+    #: was set (a :class:`repro.lint.LintReport`).
+    lint_report: object = None
 
     def summary_rows(self) -> list[list[str]]:
         return [
@@ -100,6 +103,11 @@ class TuningCampaign:
     #: When set, every cell, sweep, and built rule is ingested into the
     #: store; content addressing makes re-runs idempotent.
     store: object = None
+    #: Lint the campaign's data against the repro.lint guidelines after the
+    #: run (and after the store ingest, so findings can mark store cells
+    #: suspect via ``store.apply_lint``).  The report lands on
+    #: ``CampaignResult.lint_report``; it never fails the campaign.
+    lint_after: bool = False
 
     def __post_init__(self) -> None:
         from repro.selection.strategies import RobustAverageSelector
@@ -229,6 +237,14 @@ class TuningCampaign:
                     params_hash=(harness_hash(base_specs[0])
                                  if base_specs else ""),
                 )
+        if self.lint_after:
+            from repro.lint import lint_store, lint_sweeps
+
+            with octx.wall_span("campaign.lint", track="campaign"):
+                if store is not None:
+                    result.lint_report = lint_store(store)
+                else:
+                    result.lint_report = lint_sweeps(result.sweeps.values())
         return result
 
     def save(self, result: CampaignResult, outdir: str | Path) -> dict[str, Path]:

@@ -176,6 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also ingest results, sweeps, and rules into a "
                        "persistent tuning store (SQLite; created on first "
                        "use, re-runs are idempotent)")
+    ptune.add_argument("--lint", action="store_true",
+                       help="lint the campaign's data against the "
+                       "performance guidelines after the run (see "
+                       "lint-store); findings print but never fail the "
+                       "campaign")
 
     pserve = sub.add_parser(
         "serve",
@@ -212,6 +217,28 @@ def build_parser() -> argparse.ArgumentParser:
     pquery.add_argument("--port", type=int, default=7453)
     pquery.add_argument("--json", action="store_true", dest="as_json",
                         help="print the full reply as JSON")
+
+    plint = sub.add_parser(
+        "lint-store",
+        help="check a tuning store's cells against the performance "
+        "guidelines (allreduce <= reduce + bcast, monotony, analytical "
+        "floor, ...); optionally mark violating cells suspect",
+    )
+    plint.add_argument("store", help="tuning store database (see tune --store)")
+    plint.add_argument("--json", default=None, dest="lint_json",
+                       metavar="PATH",
+                       help="write the full findings report as JSON "
+                       "('-' for stdout)")
+    plint.add_argument("--fail-on", choices=["error", "warning", "never"],
+                       default="error", dest="fail_on",
+                       help="lowest finding severity that makes the exit "
+                       "code non-zero (default: error)")
+    plint.add_argument("--mark", action="store_true",
+                       help="persist the verdicts: record findings in the "
+                       "store and flag error-severity cells suspect, so "
+                       "rule loading excludes rules backed only by them")
+    plint.add_argument("--limit", type=int, default=25,
+                       help="max findings printed in text output")
 
     pcache = sub.add_parser(
         "cache", help="inspect or prune the on-disk benchmark result cache"
@@ -477,6 +504,33 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint_store(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.lint import lint_store
+    from repro.store import TuningStore
+
+    with TuningStore(args.store) as store:
+        report = lint_store(store)
+        if args.mark:
+            applied = store.apply_lint(report)
+            print(f"marked: {applied['cells_marked']} cell(s) newly "
+                  f"suspect, {applied['cells_cleared']} cleared, "
+                  f"{applied['findings_recorded']} finding(s) recorded",
+                  file=sys.stderr)
+    if args.lint_json is not None:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.lint_json == "-":
+            print(payload)
+        else:
+            Path(args.lint_json).write_text(payload + "\n")
+            print(f"wrote findings: {args.lint_json}", file=sys.stderr)
+    if args.lint_json != "-":
+        print(report.render_text(limit=args.limit))
+    return 1 if report.fails(args.fail_on) else 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     import os
 
@@ -573,6 +627,7 @@ def _dispatch(command: str, args: argparse.Namespace) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             store=args.store,
+            lint_after=args.lint,
         )
         try:
             result = campaign.run(
@@ -587,6 +642,8 @@ def _dispatch(command: str, args: argparse.Namespace) -> int:
             print(f"store: {args.store} "
                   f"(+{result.store_ingest['new_sweeps']} sweeps, "
                   f"{result.store_ingest['rules_written']} rules)")
+        if result.lint_report is not None:
+            print(result.lint_report.render_text(limit=10))
         print(render_table(["collective", "size", "selected algorithm"],
                            result.summary_rows(),
                            title=f"Tuned table ({config.machine}, "
@@ -624,6 +681,8 @@ def _dispatch(command: str, args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     elif command == "query":
         return _cmd_query(args)
+    elif command == "lint-store":
+        return _cmd_lint_store(args)
     elif command == "cache":
         return _cmd_cache(args)
     elif command == "profile":

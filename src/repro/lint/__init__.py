@@ -1,0 +1,52 @@
+"""Guideline-based linting of tuning data (self-verifying stores).
+
+See :mod:`repro.lint.guidelines` for the catalogue of checkable relations,
+:mod:`repro.lint.engine` for the runner, and :mod:`repro.lint.report` for
+the findings structures.  ``docs/store-linting.md`` is the user-facing
+guide; the CLI entry point is ``repro-mpi lint-store``.
+"""
+
+from repro.lint.engine import (
+    CellRecord,
+    floor_seconds,
+    lint_records,
+    lint_store,
+    lint_sweeps,
+    record_from_payload,
+    record_from_result,
+    records_from_sweep,
+)
+from repro.lint.guidelines import (
+    COMPOSITION_GUIDELINES,
+    DEFAULT_GUIDELINES,
+    FLOOR_BYTE_FACTORS,
+    MONOTONY_GUIDELINES,
+    CompositionGuideline,
+    FloorGuideline,
+    MonotonyGuideline,
+    SanityGuideline,
+)
+from repro.lint.report import SEVERITIES, LintFinding, LintReport, severity_rank
+
+__all__ = [
+    "CellRecord",
+    "CompositionGuideline",
+    "MonotonyGuideline",
+    "SanityGuideline",
+    "FloorGuideline",
+    "COMPOSITION_GUIDELINES",
+    "MONOTONY_GUIDELINES",
+    "DEFAULT_GUIDELINES",
+    "FLOOR_BYTE_FACTORS",
+    "LintFinding",
+    "LintReport",
+    "SEVERITIES",
+    "severity_rank",
+    "floor_seconds",
+    "lint_records",
+    "lint_store",
+    "lint_sweeps",
+    "record_from_payload",
+    "record_from_result",
+    "records_from_sweep",
+]

@@ -1,0 +1,376 @@
+"""The lint runner: evaluate guidelines over stores or in-memory sweeps.
+
+The evaluation unit is a :class:`CellRecord` — one benchmark cell reduced
+to its lint-relevant coordinates and timing summaries, carrying the same
+SHA-256 content hash the tuning store keys the cell by (so a finding made
+here can be marked persistent there).  Records are tolerant of *corrupt*
+payloads on purpose: a cell with NaN timings must still produce a record
+(with ``finite=False``) so the sanity guideline can flag it, rather than
+crashing the lint.
+
+Joining: composition guidelines compare cells sharing
+``(comm_size, msg_bytes, pattern, harness)``; monotony guidelines walk one
+axis with everything else (including the harness) fixed.  The *harness*
+key is the provenance ``params_hash`` for store cells (platform + network
+parameters — comparing timings measured under different harnesses proves
+nothing) and a caller-supplied tag for in-memory sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lint.guidelines import (
+    DEFAULT_GUIDELINES,
+    FLOOR_BYTE_FACTORS,
+    CompositionGuideline,
+    FloorGuideline,
+    MonotonyGuideline,
+    SanityGuideline,
+)
+from repro.lint.report import LintFinding, LintReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bench.results import BenchResult, SweepResult
+    from repro.store import TuningStore
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One benchmark cell, reduced to what the guidelines need."""
+
+    collective: str
+    algorithm: str
+    comm_size: int
+    msg_bytes: float
+    pattern: str
+    machine: str
+    #: Join key for cross-cell guidelines: provenance params hash for store
+    #: cells, caller-supplied tag otherwise.
+    harness: str
+    #: SHA-256 of the cell's canonical JSON ('' when unavailable).
+    content_hash: str
+    #: Headline time: mean last delay over repetitions (what selection uses).
+    time: float
+    #: Fastest repetition's *total* delay — the wall time the analytical
+    #: floor bounds (d* includes the skew wait, so the bound stays valid
+    #: under any arrival pattern).
+    min_total: float
+    #: Smallest raw delay value seen anywhere in the cell (sanity check).
+    min_value: float
+    #: False when any recorded delay is NaN/Infinity.
+    finite: bool
+
+
+def _tolerant_hash(payload: dict) -> str:
+    """Content hash matching the store's, even for non-finite payloads.
+
+    The store's :func:`~repro.store.content_hash` now refuses NaN/Infinity;
+    cells ingested by older code may still carry them, hashed with Python's
+    permissive encoder — reproduce that encoding so findings against legacy
+    rows reference the hash the row is actually keyed by.
+    """
+    from repro.store import content_hash
+
+    try:
+        return content_hash(payload)
+    except ConfigurationError:
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def record_from_payload(payload: dict, *, content_hash: str = "",
+                        harness: str = "") -> CellRecord:
+    """Build a record from a stored ``BenchResult.to_dict`` payload.
+
+    Never raises on corrupt timing values — those become a record with
+    ``finite=False`` for the sanity guideline to report.
+    """
+    def _series(key: str) -> list[float]:
+        values = payload.get(key) or []
+        out = []
+        for v in values:
+            try:
+                out.append(float(v))
+            except (TypeError, ValueError):
+                out.append(math.nan)
+        return out
+
+    last = _series("last_delays")
+    total = _series("total_delays") or last
+    everything = last + total
+    finite = bool(everything) and all(math.isfinite(v) for v in everything)
+    if last and finite:
+        time = math.fsum(last) / len(last)
+    else:
+        time = math.nan
+    min_total = min(total) if total and finite else math.nan
+    min_value = min(everything) if everything and finite else math.nan
+    return CellRecord(
+        collective=str(payload.get("collective", "")),
+        algorithm=str(payload.get("algorithm", "")),
+        comm_size=int(payload.get("num_ranks", 0) or 0),
+        msg_bytes=float(payload.get("msg_bytes", 0.0) or 0.0),
+        pattern=str(payload.get("pattern", "")),
+        machine=str(payload.get("machine", "")),
+        harness=harness,
+        content_hash=content_hash or _tolerant_hash(payload),
+        time=time,
+        min_total=min_total,
+        min_value=min_value,
+        finite=finite,
+    )
+
+
+def record_from_result(result: "BenchResult", *, harness: str = "") -> CellRecord:
+    """Build a record from an in-memory result (hash matches store ingest)."""
+    return record_from_payload(result.to_dict(), harness=harness)
+
+
+def records_from_sweep(sweep: "SweepResult", *, harness: str = ""
+                       ) -> list[CellRecord]:
+    return [record_from_result(cell, harness=harness)
+            for cell in sweep.cells.values()]
+
+
+# -- machine lower bounds ------------------------------------------------- #
+
+_bandwidth_cache: dict[str, float | None] = {}
+
+
+def _machine_max_bandwidth(machine: str) -> float | None:
+    """Fastest link bandwidth (bytes/s) of a machine preset, else ``None``."""
+    if machine not in _bandwidth_cache:
+        bandwidth: float | None = None
+        if machine:
+            from repro.sim.platform import get_machine
+
+            try:
+                spec = get_machine(machine)
+            except ConfigurationError:
+                pass
+            else:
+                rates = [float(v) for k, v in spec.network.items()
+                         if k.endswith("bandwidth") and v]
+                bandwidth = max(rates) if rates else None
+        _bandwidth_cache[machine] = bandwidth
+    return _bandwidth_cache[machine]
+
+
+def floor_seconds(record: CellRecord) -> float | None:
+    """Zero-latency bandwidth floor for one cell; ``None`` when unbounded.
+
+    ``None`` means the guideline cannot bound this cell: unknown machine,
+    single-rank communicator, or a collective that moves no payload.
+    """
+    if record.comm_size < 2:
+        return None
+    factor = FLOOR_BYTE_FACTORS.get(record.collective, 1.0)
+    payload = factor * record.msg_bytes
+    if payload <= 0:
+        return None
+    bandwidth = _machine_max_bandwidth(record.machine)
+    if bandwidth is None:
+        return None
+    return payload / bandwidth
+
+
+# -- guideline evaluation ------------------------------------------------- #
+
+def _check_sanity(guideline: SanityGuideline,
+                  records: Sequence[CellRecord]) -> list[LintFinding]:
+    findings = []
+    for r in records:
+        if not r.finite:
+            findings.append(_finding(guideline.name, "error", r,
+                                     margin=math.nan, measured=math.nan,
+                                     bound=0.0,
+                                     detail="cell carries NaN/Infinity "
+                                     "timing values"))
+        elif r.min_value < 0:
+            findings.append(_finding(guideline.name, "error", r,
+                                     margin=abs(r.min_value),
+                                     measured=r.min_value, bound=0.0,
+                                     detail="cell carries a negative delay"))
+    return findings
+
+
+def _check_floor(guideline: FloorGuideline,
+                 records: Sequence[CellRecord]) -> list[LintFinding]:
+    findings = []
+    for r in records:
+        if not r.finite:
+            continue
+        bound = floor_seconds(r)
+        if bound is None:
+            continue
+        if r.min_total < bound * (1.0 - guideline.tolerance):
+            margin = (bound - r.min_total) / bound
+            findings.append(_finding(
+                guideline.name, "error", r, margin=margin,
+                measured=r.min_total, bound=bound,
+                detail=f"faster than the zero-latency bandwidth bound of "
+                f"machine {r.machine!r} — physically impossible",
+            ))
+    return findings
+
+
+def _check_composition(guideline: CompositionGuideline,
+                       records: Sequence[CellRecord]) -> list[LintFinding]:
+    groups: dict[tuple, list[CellRecord]] = {}
+    for r in records:
+        if not r.finite:
+            continue
+        groups.setdefault(
+            (r.comm_size, r.msg_bytes, r.pattern, r.harness), []).append(r)
+    findings = []
+    for group in groups.values():
+        best_parts: list[CellRecord] = []
+        for part in guideline.parts:
+            candidates = [r for r in group if r.collective == part]
+            if not candidates:
+                break
+            best_parts.append(min(candidates, key=lambda r: r.time))
+        else:
+            bound = math.fsum(p.time for p in best_parts)
+            if bound <= 0:
+                continue
+            witnesses = tuple(p.content_hash for p in best_parts)
+            for r in group:
+                if r.collective != guideline.composite:
+                    continue
+                if r.time <= bound * (1.0 + guideline.tolerance):
+                    continue
+                margin = r.time / bound - 1.0
+                severity = ("error" if margin > guideline.error_margin
+                            else "warning")
+                parts = " + ".join(guideline.parts)
+                findings.append(_finding(
+                    guideline.name, severity, r, margin=margin,
+                    measured=r.time, bound=bound, witnesses=witnesses,
+                    detail=f"slower than the best {parts} mock-up at the "
+                    "same coordinate",
+                ))
+    return findings
+
+
+def _check_monotony(guideline: MonotonyGuideline,
+                    records: Sequence[CellRecord]) -> list[LintFinding]:
+    if guideline.axis not in ("msg_bytes", "comm_size"):
+        raise ConfigurationError(
+            f"monotony guideline {guideline.name!r} has unknown axis "
+            f"{guideline.axis!r}"
+        )
+    by_msg = guideline.axis == "msg_bytes"
+    groups: dict[tuple, list[CellRecord]] = {}
+    for r in records:
+        if not r.finite:
+            continue
+        key = ((r.collective, r.algorithm, r.pattern, r.comm_size, r.harness)
+               if by_msg else
+               (r.collective, r.algorithm, r.pattern, r.msg_bytes, r.harness))
+        groups.setdefault(key, []).append(r)
+    findings = []
+    for group in groups.values():
+        group.sort(key=lambda r: r.msg_bytes if by_msg else r.comm_size)
+        for small, large in zip(group, group[1:]):
+            coord = (lambda r: r.msg_bytes) if by_msg else (lambda r: r.comm_size)
+            if coord(small) == coord(large) or small.time <= 0:
+                continue
+            if large.time >= small.time * (1.0 - guideline.tolerance):
+                continue
+            margin = (small.time - large.time) / small.time
+            severity = "error" if margin > guideline.error_margin else "warning"
+            axis = "message size" if by_msg else "communicator size"
+            findings.append(_finding(
+                guideline.name, severity, large, margin=margin,
+                measured=large.time, bound=small.time,
+                witnesses=(small.content_hash,),
+                detail=f"implausibly fast: beats the same algorithm at a "
+                f"smaller {axis} ({coord(small):g} -> {coord(large):g})",
+            ))
+    return findings
+
+
+def _finding(name: str, severity: str, record: CellRecord, *, margin: float,
+             measured: float, bound: float, detail: str = "",
+             witnesses: tuple[str, ...] = ()) -> LintFinding:
+    return LintFinding(
+        guideline=name, severity=severity,
+        collective=record.collective, algorithm=record.algorithm,
+        comm_size=record.comm_size, msg_bytes=record.msg_bytes,
+        pattern=record.pattern, content_hash=record.content_hash,
+        margin=margin, measured=measured, bound=bound, detail=detail,
+        witnesses=witnesses,
+    )
+
+
+_CHECKERS = (
+    (SanityGuideline, _check_sanity),
+    (FloorGuideline, _check_floor),
+    (CompositionGuideline, _check_composition),
+    (MonotonyGuideline, _check_monotony),
+)
+
+
+def lint_records(records: Iterable[CellRecord],
+                 guidelines: Sequence = DEFAULT_GUIDELINES) -> LintReport:
+    """Evaluate ``guidelines`` over cell records; returns the full report."""
+    records = list(records)
+    findings: list[LintFinding] = []
+    names = []
+    for guideline in guidelines:
+        for kind, checker in _CHECKERS:
+            if isinstance(guideline, kind):
+                findings.extend(checker(guideline, records))
+                break
+        else:
+            raise ConfigurationError(
+                f"unknown guideline type {type(guideline).__name__}"
+            )
+        names.append(guideline.name)
+    return LintReport(findings=findings, cells_checked=len(records),
+                      guidelines=tuple(names))
+
+
+def lint_sweeps(sweeps: Iterable["SweepResult"], *, harness: str = "",
+                guidelines: Sequence = DEFAULT_GUIDELINES) -> LintReport:
+    """Lint in-memory sweeps (e.g. a campaign's, before any store exists)."""
+    records: list[CellRecord] = []
+    for sweep in sweeps:
+        records.extend(records_from_sweep(sweep, harness=harness))
+    return lint_records(records, guidelines)
+
+
+def lint_store(store: "TuningStore | str", *,
+               guidelines: Sequence = DEFAULT_GUIDELINES) -> LintReport:
+    """Lint every benchmark cell of a tuning store (or a path to one)."""
+    from repro.store import open_store
+
+    store, owned = open_store(store)
+    try:
+        records = [
+            record_from_payload(payload, content_hash=digest, harness=params)
+            for digest, payload, params in store.iter_cell_rows()
+        ]
+    finally:
+        if owned:
+            store.close()
+    return lint_records(records, guidelines)
+
+
+__all__ = [
+    "CellRecord",
+    "record_from_payload",
+    "record_from_result",
+    "records_from_sweep",
+    "floor_seconds",
+    "lint_records",
+    "lint_sweeps",
+    "lint_store",
+]

@@ -1,0 +1,165 @@
+"""The guideline catalogue: checkable relations self-consistent tuning data obeys.
+
+Hunold & Carpen-Amarie's *performance guidelines* (arXiv 1707.09965) give a
+principled detector for suspect measurements: some relations between
+collective runtimes must hold for any sane MPI library, because one side of
+the relation is a *mock-up implementation* of the other.  An ``allreduce``
+can always be implemented as ``reduce`` followed by ``bcast``, so a
+measured allreduce that is much slower than the measured
+``reduce + bcast`` sum at the same coordinate is suspect **by
+construction** — either the cell is corrupted (noise spike, mis-configured
+harness) or the algorithm implementation is pathological; either way it is
+bad tuning data to derive production rules from.
+
+Four guideline families are declared here (evaluation lives in
+:mod:`repro.lint.engine`):
+
+* **Composition** (`allreduce <= reduce + bcast` and friends): the mock-up
+  relations above, joined per ``(comm_size, msg_bytes, pattern, harness)``.
+  The bound sums the *best* measured time of each part, which is generous —
+  each part's time includes its own arrival-skew wait, so the composed
+  bound double-counts skew and a legitimate cell has ample slack.
+* **Monotony**: per (algorithm, pattern, harness), runtime must not
+  *decrease* when ``msg_bytes`` or ``comm_size`` grows.  Mild inversions
+  are measurement noise (warning); a large-margin inversion means the
+  faster cell is implausibly fast (error).
+* **Sanity**: timings must be finite and non-negative.
+* **Analytical floor**: Nuriyev & Lastovetsky's analytical models
+  (arXiv 2004.11062) bound any collective from below; the weakest such
+  bound — the zero-latency bandwidth term ``msg_bytes / max_bandwidth`` on
+  the machine's fastest link — needs no model fitting and no cell may beat
+  it.  A cell below the floor is physically impossible, hence corrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompositionGuideline:
+    """``composite <= sum(parts)`` at one (comm_size, msg_bytes, pattern) join.
+
+    ``tolerance`` is the relative slack before a cell is flagged at all;
+    a flagged cell whose margin exceeds ``error_margin`` escalates from
+    ``warning`` to ``error`` (margin 1.0 = twice the composed bound).
+    """
+
+    name: str
+    composite: str
+    parts: tuple[str, ...]
+    tolerance: float = 0.10
+    error_margin: float = 1.0
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class MonotonyGuideline:
+    """Runtime must be non-decreasing along ``axis`` for one algorithm/pattern.
+
+    ``axis`` is ``"msg_bytes"`` or ``"comm_size"``.  The *faster* cell of an
+    inverted pair (the one at the larger coordinate) is the suspect — an
+    implausibly fast cell is the corruption mode selection actually
+    mis-learns from, since strategies pick minima.
+    """
+
+    name: str
+    axis: str
+    tolerance: float = 0.25
+    error_margin: float = 0.9
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class SanityGuideline:
+    """Timings must be finite and non-negative."""
+
+    name: str = "finite_non_negative"
+    description: str = ("every recorded delay must be a finite, "
+                        "non-negative number")
+
+
+@dataclass(frozen=True)
+class FloorGuideline:
+    """No cell may beat the zero-latency bandwidth bound of its machine.
+
+    ``tolerance`` absorbs floating-point slack; the check only runs for
+    cells whose ``machine`` matches a known preset (the bound needs the
+    link bandwidth).
+    """
+
+    name: str = "bandwidth_floor"
+    tolerance: float = 0.05
+    description: str = ("total wall time must be >= the per-collective "
+                        "share of msg_bytes over the fastest link, at zero "
+                        "latency")
+
+
+#: Fraction of ``msg_bytes`` that must, at minimum, cross one link for the
+#: floor guideline.  1.0 where a full contribution/block demonstrably
+#: traverses a link; 0.5 where only per-rank result blocks do
+#: (reduce_scatter delivers ``(p-1)/p`` of a contribution, >= 1/2 for
+#: p >= 2); 0.0 disables the check (barrier moves no payload).
+FLOOR_BYTE_FACTORS: dict[str, float] = {
+    "barrier": 0.0,
+    "reduce_scatter": 0.5,
+    "reduce_scatter_block": 0.5,
+}
+
+
+#: Hunold-style mock-up composition guidelines.
+COMPOSITION_GUIDELINES: tuple[CompositionGuideline, ...] = (
+    CompositionGuideline(
+        "allreduce_le_reduce_bcast", "allreduce", ("reduce", "bcast"),
+        description="allreduce is implementable as reduce followed by bcast",
+    ),
+    CompositionGuideline(
+        "allgather_le_gather_bcast", "allgather", ("gather", "bcast"),
+        description="allgather is implementable as gather followed by bcast",
+    ),
+    CompositionGuideline(
+        "alltoall_le_gather_scatter", "alltoall", ("gather", "scatter"),
+        description="alltoall is implementable as gather followed by "
+        "p scatters (bound is generous: one scatter is charged)",
+    ),
+    CompositionGuideline(
+        "reduce_scatter_le_reduce_scatter", "reduce_scatter",
+        ("reduce", "scatter"),
+        description="reduce_scatter is implementable as reduce followed "
+        "by scatter",
+    ),
+)
+
+#: Monotony along both sweep axes.
+MONOTONY_GUIDELINES: tuple[MonotonyGuideline, ...] = (
+    MonotonyGuideline(
+        "monotone_msg_bytes", "msg_bytes",
+        description="per algorithm and pattern, runtime must not shrink "
+        "as the message grows",
+    ),
+    MonotonyGuideline(
+        "monotone_comm_size", "comm_size",
+        description="per algorithm and pattern, runtime must not shrink "
+        "as the communicator grows",
+    ),
+)
+
+#: The default guideline set ``lint_store``/``lint-store`` runs.
+DEFAULT_GUIDELINES: tuple = (
+    SanityGuideline(),
+    FloorGuideline(),
+    *COMPOSITION_GUIDELINES,
+    *MONOTONY_GUIDELINES,
+)
+
+
+__all__ = [
+    "CompositionGuideline",
+    "MonotonyGuideline",
+    "SanityGuideline",
+    "FloorGuideline",
+    "COMPOSITION_GUIDELINES",
+    "MONOTONY_GUIDELINES",
+    "DEFAULT_GUIDELINES",
+    "FLOOR_BYTE_FACTORS",
+]

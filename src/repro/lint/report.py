@@ -1,0 +1,215 @@
+"""Structured lint findings and the report that carries them.
+
+A :class:`LintFinding` records one guideline violation against one store
+cell: which guideline, how badly (the *margin*), at what severity, and —
+crucially — the **content hash** of the suspect cell, so verdicts survive
+re-ingests, store copies, and schema migrations (content addressing is the
+store's identity; see :mod:`repro.store.tuning_store`).  ``witnesses``
+carries the hashes of the cells that *established* the violated bound
+(e.g. the best ``reduce`` and ``bcast`` cells a composition guideline
+summed), so a finding is auditable without re-running the lint.
+
+A :class:`LintReport` aggregates findings with severity accounting, JSON
+round-trips for the CI artifact, a text renderer for the CLI, and the
+``--fail-on`` exit-code policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Severity levels, mildest first.  ``error`` findings mark cells suspect
+#: by default (see :meth:`repro.store.TuningStore.apply_lint`).
+SEVERITIES = ("info", "warning", "error")
+
+_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity name (higher = worse)."""
+    try:
+        return _RANK[severity]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+        ) from None
+
+
+def _finite(value: float) -> float | None:
+    """JSON-safe float: ``None`` for NaN/Infinity (strict JSON has neither)."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One guideline violation against one benchmark cell."""
+
+    guideline: str
+    severity: str
+    collective: str
+    algorithm: str
+    comm_size: int
+    msg_bytes: float
+    pattern: str
+    #: SHA-256 content hash of the suspect cell ('' when the record was
+    #: built from data that never passed through a store).
+    content_hash: str
+    #: Relative violation size.  For "x must be <= bound" guidelines this is
+    #: ``x / bound - 1`` (unbounded above); for "x must be >= bound" (the
+    #: analytical floor) it is ``(bound - x) / bound`` (in ``(0, 1]``).
+    margin: float
+    measured: float
+    bound: float
+    detail: str = ""
+    #: Content hashes of the cells that established ``bound``.
+    witnesses: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)  # validates the name
+
+    def coordinate(self) -> str:
+        """Human-readable cell coordinate for reports and error text."""
+        where = (f"{self.collective}/{self.algorithm} @ p={self.comm_size}, "
+                 f"{self.msg_bytes:g} B")
+        if self.pattern:
+            where += f", pattern {self.pattern}"
+        return where
+
+    def to_dict(self) -> dict:
+        return {
+            "guideline": self.guideline,
+            "severity": self.severity,
+            "collective": self.collective,
+            "algorithm": self.algorithm,
+            "comm_size": int(self.comm_size),
+            "msg_bytes": float(self.msg_bytes),
+            "pattern": self.pattern,
+            "content_hash": self.content_hash,
+            "margin": _finite(self.margin),
+            "measured": _finite(self.measured),
+            "bound": _finite(self.bound),
+            "detail": self.detail,
+            "witnesses": list(self.witnesses),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LintFinding":
+        try:
+            return cls(
+                guideline=data["guideline"],
+                severity=data["severity"],
+                collective=data["collective"],
+                algorithm=data["algorithm"],
+                comm_size=int(data["comm_size"]),
+                msg_bytes=float(data["msg_bytes"]),
+                pattern=data.get("pattern", ""),
+                content_hash=data.get("content_hash", ""),
+                margin=float(data["margin"] if data["margin"] is not None
+                             else math.nan),
+                measured=float(data["measured"] if data["measured"] is not None
+                               else math.nan),
+                bound=float(data["bound"] if data["bound"] is not None
+                            else math.nan),
+                detail=data.get("detail", ""),
+                witnesses=tuple(data.get("witnesses", ())),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(f"lint finding dict missing {exc}") from None
+
+
+@dataclass
+class LintReport:
+    """Every finding of one lint run, plus coverage accounting."""
+
+    findings: list[LintFinding] = field(default_factory=list)
+    #: Number of cell records the run evaluated.
+    cells_checked: int = 0
+    #: Names of the guidelines that ran.
+    guidelines: tuple[str, ...] = ()
+
+    def counts(self) -> dict[str, int]:
+        """Finding count per severity (every severity key always present)."""
+        out = {name: 0 for name in SEVERITIES}
+        for finding in self.findings:
+            out[finding.severity] += 1
+        return out
+
+    def max_severity(self) -> str | None:
+        """Worst severity present, or ``None`` for a clean report."""
+        worst = None
+        for finding in self.findings:
+            if worst is None or severity_rank(finding.severity) > severity_rank(worst):
+                worst = finding.severity
+        return worst
+
+    def findings_at_least(self, severity: str) -> list[LintFinding]:
+        floor = severity_rank(severity)
+        return [f for f in self.findings if severity_rank(f.severity) >= floor]
+
+    def suspect_hashes(self, min_severity: str = "error") -> set[str]:
+        """Content hashes of cells with a finding at or above ``min_severity``."""
+        return {f.content_hash for f in self.findings_at_least(min_severity)
+                if f.content_hash}
+
+    def fails(self, fail_on: str) -> bool:
+        """The ``--fail-on`` policy: does this report warrant a non-zero exit?
+
+        ``fail_on`` is ``"error"``, ``"warning"``, or ``"never"``.
+        """
+        if fail_on == "never":
+            return False
+        return bool(self.findings_at_least(fail_on))
+
+    def to_dict(self) -> dict:
+        counts = self.counts()
+        return {
+            "cells_checked": int(self.cells_checked),
+            "guidelines": list(self.guidelines),
+            "counts": counts,
+            "max_severity": self.max_severity(),
+            "findings": [f.to_dict() for f in
+                         sorted(self.findings,
+                                key=lambda f: (-severity_rank(f.severity),
+                                               f.guideline, f.collective,
+                                               f.algorithm, f.msg_bytes))],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LintReport":
+        return cls(
+            findings=[LintFinding.from_dict(f) for f in data.get("findings", [])],
+            cells_checked=int(data.get("cells_checked", 0)),
+            guidelines=tuple(data.get("guidelines", ())),
+        )
+
+    def render_text(self, limit: int | None = None) -> str:
+        """Multi-line CLI rendering: summary line, then findings worst-first."""
+        counts = self.counts()
+        head = (f"store lint: {self.cells_checked} cells, "
+                f"{len(self.guidelines)} guidelines; "
+                f"{counts['error']} error(s), {counts['warning']} warning(s)")
+        if not self.findings:
+            return head + " - clean"
+        lines = [head]
+        ordered = sorted(self.findings,
+                         key=lambda f: (-severity_rank(f.severity), f.guideline,
+                                        f.collective, f.algorithm, f.msg_bytes))
+        shown = ordered if limit is None else ordered[:limit]
+        for f in shown:
+            margin = (f"{f.margin:+.1%}" if math.isfinite(f.margin) else "n/a")
+            cell = f.content_hash[:12] or "<unhashed>"
+            lines.append(f"  [{f.severity}] {f.guideline}: {f.coordinate()}")
+            lines.append(f"      measured {f.measured:.4g} s vs bound "
+                         f"{f.bound:.4g} s (margin {margin}); cell {cell}")
+            if f.detail:
+                lines.append(f"      {f.detail}")
+        if limit is not None and len(ordered) > limit:
+            lines.append(f"  ... {len(ordered) - limit} more finding(s)")
+        return "\n".join(lines)
+
+
+__all__ = ["SEVERITIES", "severity_rank", "LintFinding", "LintReport"]

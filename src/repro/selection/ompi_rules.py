@@ -63,12 +63,26 @@ def write_ompi_rules_file(path: str | Path, table: SelectionTable) -> None:
         for comm_size in sizes:
             lines.append(f"{comm_size}  # comm size")
             rules = table.rules_for(coll, comm_size)
-            lines.append(f"{len(rules)}")
+            # coll_tuned boundaries are integers; truncating fractional
+            # boundaries can collapse two rules onto one message size, and
+            # duplicate sizes make the file invalid.  Merge in ascending
+            # boundary order so the larger original boundary's algorithm
+            # wins the collision (it governs the upper part of the range).
+            merged: dict[int, str] = {}
             for msg_bytes, algorithm in rules:
+                merged[int(msg_bytes)] = algorithm
+            if 0 not in merged and merged:
+                # coll_tuned expects coverage from message size 0; below
+                # the smallest boundary the smallest rule applies (same
+                # semantics as SelectionTable.lookup's undershoot).
+                merged[0] = rules[0][1]
+            lines.append(f"{len(merged)}")
+            for msg_size in sorted(merged):
+                algorithm = merged[msg_size]
                 info = get_algorithm(coll, algorithm)
                 if info.ompi_id is None:
                     raise ConfigurationError(
                         f"{coll}/{algorithm} has no Open MPI algorithm id"
                     )
-                lines.append(f"{int(msg_bytes)} {info.ompi_id} 0 0  # {algorithm}")
+                lines.append(f"{msg_size} {info.ompi_id} 0 0  # {algorithm}")
     Path(path).write_text("\n".join(lines) + "\n")

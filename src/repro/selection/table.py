@@ -42,6 +42,10 @@ class SelectionTable:
     strategy_name: str = ""
     # (collective, comm_size) -> sorted list of (msg_bytes, algorithm)
     _rules: dict[tuple[str, int], list[tuple[float, str]]] = field(default_factory=dict)
+    # collective -> sorted comm sizes that actually hold rules; rebuilt
+    # lazily by comm_sizes() so bucketed lookups don't rescan every key.
+    _comm_size_cache: dict[str, list[int]] = field(
+        default_factory=dict, repr=False, compare=False)
 
     def add_rule(self, collective: str, comm_size: int, msg_bytes: float,
                  algorithm: str) -> None:
@@ -51,6 +55,7 @@ class SelectionTable:
         rules[:] = [(m, a) for m, a in rules if m != msg_bytes]
         rules.append((float(msg_bytes), algorithm))
         rules.sort()
+        self._comm_size_cache.pop(collective, None)
 
     def add_sweep(self, sweep: SweepResult, strategy: SelectionStrategy) -> str:
         """Apply ``strategy`` to one sweep and record the winner; returns it."""
@@ -73,8 +78,11 @@ class SelectionTable:
         rules at all.
         """
         rules = self._rules.get((collective, comm_size))
-        if rules is None and not exact_comm_size:
-            tuned_sizes = self.comm_sizes(collective)
+        if not rules and not exact_comm_size:
+            # `not rules` (not `rules is None`): an *empty* rule list
+            # registered at the exact size must still fall through to the
+            # nearest tuned bucket.
+            tuned_sizes = self._tuned_sizes(collective)
             if tuned_sizes:
                 idx = bisect_right(tuned_sizes, comm_size) - 1
                 nearest = tuned_sizes[max(idx, 0)]
@@ -87,8 +95,17 @@ class SelectionTable:
         idx = bisect_right(sizes, msg_bytes) - 1
         return rules[max(idx, 0)][1]
 
+    def _tuned_sizes(self, collective: str) -> list[int]:
+        """Sorted comm sizes with at least one rule, cached per collective."""
+        cached = self._comm_size_cache.get(collective)
+        if cached is None:
+            cached = sorted(size for (coll, size), rules in self._rules.items()
+                            if coll == collective and rules)
+            self._comm_size_cache[collective] = cached
+        return cached
+
     def comm_sizes(self, collective: str) -> list[int]:
-        return sorted(size for (coll, size) in self._rules if coll == collective)
+        return list(self._tuned_sizes(collective))
 
     def rules_for(self, collective: str, comm_size: int) -> list[tuple[float, str]]:
         return list(self._rules.get((collective, comm_size), []))
@@ -102,7 +119,8 @@ class SelectionTable:
 
     @property
     def collectives(self) -> list[str]:
-        return sorted({coll for (coll, _size) in self._rules})
+        return sorted({coll for (coll, _size), rules in self._rules.items()
+                       if rules})
 
     # -- persistence ----------------------------------------------------- #
 

@@ -90,7 +90,10 @@ class SelectionService:
     ``cache_size`` bounds the reply LRU; ``fallback=False`` turns a rule
     miss into a :class:`ConfigurationError` instead of a fixed-decision
     answer; ``reload_interval`` throttles the store-mtime stat (seconds,
-    0 checks on every query).
+    0 checks on every query).  ``exclude_suspect`` (default on) refuses to
+    serve rules whose every backing cell is lint-flagged suspect (see
+    :mod:`repro.lint`); such queries get the fixed-decision fallback,
+    source-tagged as usual.
     """
 
     def __init__(self, store: "TuningStore | str | Path | None" = None, *,
@@ -98,7 +101,8 @@ class SelectionService:
                  cache_size: int = 4096,
                  fallback: bool = True,
                  watch_store: bool = True,
-                 reload_interval: float = 1.0) -> None:
+                 reload_interval: float = 1.0,
+                 exclude_suspect: bool = True) -> None:
         if store is None and table is None:
             raise ConfigurationError("service needs a store or a table")
         if cache_size < 1:
@@ -110,6 +114,7 @@ class SelectionService:
 
             self._store, self._owns_store = open_store(store)
         self._explicit_table = table
+        self.exclude_suspect = bool(exclude_suspect)
         self.cache_size = int(cache_size)
         self.fallback = bool(fallback)
         self.watch_store = bool(watch_store) and self._store is not None
@@ -151,13 +156,16 @@ class SelectionService:
         if self._store is None:
             return _Tables(table=self._explicit_table)
         try:
-            table = self._store.load_table()
+            table = self._store.load_table(
+                exclude_suspect=self.exclude_suspect)
         except StoreError:
-            # A store with no rules yet (e.g. a campaign still running) is
-            # served entirely by the fallback until rules appear.
+            # A store with no rules yet (e.g. a campaign still running) —
+            # or one whose rules all derive from lint-flagged cells — is
+            # served entirely by the fallback until clean rules appear.
             table = self._explicit_table
         return _Tables(table=table,
-                       pattern_tables=self._store.load_pattern_tables(),
+                       pattern_tables=self._store.load_pattern_tables(
+                           exclude_suspect=self.exclude_suspect),
                        mtime=self._store.mtime())
 
     def reload(self) -> None:

@@ -8,7 +8,7 @@ store file ever written by this package opens cleanly under any newer
 version of the code, and an empty v0 file migrates all the way to
 :data:`LATEST_VERSION`.
 
-Schema (v2):
+Schema (v3):
 
 ``provenance``
     Where a row of data came from: the observability run ID, the package's
@@ -30,6 +30,11 @@ Schema (v2):
     ``pattern`` is the pattern-agnostic rule a strategy produced;
     non-empty patterns hold per-pattern best picks for pattern-conditioned
     queries.
+``lint_findings``
+    Persisted guideline verdicts from :mod:`repro.lint` — one row per
+    (cell content hash, guideline) pair; ``bench_results.suspect`` carries
+    the distilled flag rule derivation respects (see
+    ``docs/store-linting.md``).
 """
 
 from __future__ import annotations
@@ -97,8 +102,35 @@ CREATE INDEX IF NOT EXISTS idx_results_coord
     ON bench_results (collective, num_ranks, msg_bytes, pattern);
 """
 
+# v3: self-verifying stores (repro.lint).  ``suspect`` marks cells whose
+# timings violate a guideline badly enough that rules must not be derived
+# from them; ``lint_findings`` persists the verdicts themselves, keyed by
+# (cell content hash, guideline) so re-linting upserts instead of piling up.
+_V3 = """
+ALTER TABLE bench_results ADD COLUMN suspect INTEGER NOT NULL DEFAULT 0;
+
+CREATE TABLE IF NOT EXISTS lint_findings (
+    id INTEGER PRIMARY KEY,
+    content_hash TEXT NOT NULL,
+    guideline TEXT NOT NULL,
+    severity TEXT NOT NULL,
+    margin REAL,
+    collective TEXT NOT NULL DEFAULT '',
+    algorithm TEXT NOT NULL DEFAULT '',
+    comm_size INTEGER NOT NULL DEFAULT 0,
+    msg_bytes REAL NOT NULL DEFAULT 0,
+    pattern TEXT NOT NULL DEFAULT '',
+    detail TEXT NOT NULL DEFAULT '',
+    created_at TEXT NOT NULL DEFAULT '',
+    UNIQUE (content_hash, guideline)
+);
+
+CREATE INDEX IF NOT EXISTS idx_results_suspect
+    ON bench_results (suspect) WHERE suspect != 0;
+"""
+
 #: Ordered (version, SQL script) pairs; append-only across releases.
-MIGRATIONS: list[tuple[int, str]] = [(1, _V1), (2, _V2)]
+MIGRATIONS: list[tuple[int, str]] = [(1, _V1), (2, _V2), (3, _V3)]
 
 LATEST_VERSION = MIGRATIONS[-1][0]
 

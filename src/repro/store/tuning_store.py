@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import sqlite3
 import subprocess
 import threading
@@ -57,8 +58,46 @@ _HARNESS_KEYS = ("platform", "network", "nrep", "seed", "clock_mode",
 
 
 def canonical_json(obj: object) -> str:
-    """Deterministic JSON encoding used for every content hash."""
-    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    """Deterministic JSON encoding used for every content hash.
+
+    Strict JSON only: Python's encoder would happily emit non-standard
+    ``NaN``/``Infinity`` tokens, which other JSON parsers reject and which
+    make a mockery of content addressing (NaN != NaN, yet the rows would
+    hash equal).  A payload carrying a non-finite float raises
+    :class:`ConfigurationError` naming the offending key path.
+    """
+    try:
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                          allow_nan=False)
+    except ValueError as exc:
+        try:
+            path = _non_finite_path(obj)
+        except RecursionError:  # circular structure; not our error to name
+            path = None
+        if path is None:
+            raise ConfigurationError(
+                f"cannot canonicalize payload: {exc}") from exc
+        raise ConfigurationError(
+            f"payload has a non-finite float at {path}; NaN/Infinity has "
+            "no canonical JSON encoding and cannot be content-addressed"
+        ) from exc
+
+
+def _non_finite_path(obj: object, path: str = "$") -> str | None:
+    """Key path of the first NaN/Infinity in a JSON-ready structure."""
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return path
+    if isinstance(obj, dict):
+        for key in obj:
+            found = _non_finite_path(obj[key], f"{path}.{key}")
+            if found:
+                return found
+    elif isinstance(obj, (list, tuple)):
+        for i, item in enumerate(obj):
+            found = _non_finite_path(item, f"{path}[{i}]")
+            if found:
+                return found
+    return None
 
 
 def content_hash(obj: object) -> str:
@@ -308,6 +347,158 @@ class TuningStore:
         rules += self.store_table(result.table, provenance_id=provenance_id)
         return {"new_sweeps": new_sweeps, "rules_written": rules}
 
+    # -- linting --------------------------------------------------------- #
+
+    def iter_cell_rows(self) -> Iterator[tuple[str, dict, str]]:
+        """Yield ``(content_hash, payload, params_hash)`` per stored cell.
+
+        ``params_hash`` is the row's provenance harness hash ('' when the
+        row carries no provenance) — the lint engine's join key for
+        cross-cell guidelines.  Payloads are decoded leniently (legacy rows
+        may carry non-standard ``NaN`` tokens; the sanity guideline exists
+        to flag exactly those).
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT b.content_hash AS digest, b.payload AS payload,"
+                " COALESCE(p.params_hash, '') AS params_hash"
+                " FROM bench_results b"
+                " LEFT JOIN provenance p ON p.id = b.provenance_id"
+                " ORDER BY b.id"
+            ).fetchall()
+        for row in rows:
+            try:
+                payload = json.loads(row["payload"])
+            except ValueError as exc:
+                raise StoreError(
+                    f"corrupt cell payload {row['digest'][:12]} in "
+                    f"{self.path}: {exc}"
+                ) from exc
+            yield row["digest"], payload, row["params_hash"]
+
+    def record_lint(self, findings) -> int:
+        """Upsert :class:`~repro.lint.report.LintFinding` rows; returns the
+        number written.
+
+        Keyed by (content hash, guideline): re-linting the same store
+        updates verdicts in place instead of piling up duplicates.
+        Findings without a content hash (in-memory data) are skipped.
+        """
+        now = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        n = 0
+        with self._lock, self._conn:
+            for f in findings:
+                if not f.content_hash:
+                    continue
+                margin = float(f.margin) if math.isfinite(f.margin) else None
+                self._conn.execute(
+                    "INSERT INTO lint_findings (content_hash, guideline,"
+                    " severity, margin, collective, algorithm, comm_size,"
+                    " msg_bytes, pattern, detail, created_at)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+                    " ON CONFLICT (content_hash, guideline) DO UPDATE SET"
+                    " severity=excluded.severity, margin=excluded.margin,"
+                    " detail=excluded.detail",
+                    (f.content_hash, f.guideline, f.severity, margin,
+                     f.collective, f.algorithm, int(f.comm_size),
+                     float(f.msg_bytes), f.pattern, f.detail, now),
+                )
+                n += 1
+        return n
+
+    def set_suspect(self, hashes, suspect: bool = True) -> int:
+        """Set or clear the suspect flag by content hash; returns rows hit."""
+        flag = 1 if suspect else 0
+        n = 0
+        with self._lock, self._conn:
+            for digest in hashes:
+                if not digest:
+                    continue
+                cur = self._conn.execute(
+                    "UPDATE bench_results SET suspect=? "
+                    "WHERE content_hash=? AND suspect!=?",
+                    (flag, digest, flag),
+                )
+                n += cur.rowcount
+        return n
+
+    def apply_lint(self, report, *,
+                   suspect_severity: str = "error") -> dict[str, int]:
+        """Persist a full lint run: finding rows plus suspect flags.
+
+        Cells with a finding at or above ``suspect_severity`` are marked
+        suspect; cells the report no longer indicts are *cleared* — a lint
+        run evaluates every cell, so absence of a finding is evidence, not
+        silence.  Returns counts of findings recorded and flags changed.
+        """
+        recorded = self.record_lint(report.findings)
+        indicted = report.suspect_hashes(suspect_severity)
+        current = self.suspect_hashes()
+        marked = self.set_suspect(sorted(indicted - current), True)
+        cleared = self.set_suspect(sorted(current - indicted), False)
+        return {"findings_recorded": recorded, "cells_marked": marked,
+                "cells_cleared": cleared}
+
+    def clear_lint(self) -> None:
+        """Drop every persisted finding and suspect flag."""
+        with self._lock, self._conn:
+            self._conn.execute("DELETE FROM lint_findings")
+            self._conn.execute(
+                "UPDATE bench_results SET suspect=0 WHERE suspect!=0")
+
+    def suspect_hashes(self) -> set[str]:
+        """Content hashes of every cell currently marked suspect."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT content_hash FROM bench_results WHERE suspect!=0"
+            ).fetchall()
+        return {r["content_hash"] for r in rows}
+
+    def load_lint_findings(self) -> list:
+        """Rebuild persisted findings (measured/bound are not stored)."""
+        from repro.lint.report import LintFinding
+
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM lint_findings ORDER BY id").fetchall()
+        return [
+            LintFinding(
+                guideline=r["guideline"], severity=r["severity"],
+                collective=r["collective"], algorithm=r["algorithm"],
+                comm_size=int(r["comm_size"]),
+                msg_bytes=float(r["msg_bytes"]), pattern=r["pattern"],
+                content_hash=r["content_hash"],
+                margin=(float(r["margin"]) if r["margin"] is not None
+                        else math.nan),
+                measured=math.nan, bound=math.nan, detail=r["detail"],
+            )
+            for r in rows
+        ]
+
+    def _suspect_only_coords(self, *, with_pattern: bool) -> set[tuple]:
+        """Cell coordinates whose every measurement is marked suspect.
+
+        A rule is only excluded when no clean cell corroborates it — one
+        trustworthy measurement at the same coordinate keeps it servable.
+        """
+        with self._lock:
+            if self._conn.execute(
+                "SELECT 1 FROM bench_results WHERE suspect!=0 LIMIT 1"
+            ).fetchone() is None:
+                return set()
+            cols = "collective, algorithm, num_ranks, msg_bytes"
+            if with_pattern:
+                cols += ", pattern"
+            rows = self._conn.execute(
+                f"SELECT {cols} FROM bench_results"
+                f" GROUP BY {cols} HAVING SUM(suspect=0) = 0"
+            ).fetchall()
+        if with_pattern:
+            return {(r["collective"], r["algorithm"], int(r["num_ranks"]),
+                     float(r["msg_bytes"]), r["pattern"]) for r in rows}
+        return {(r["collective"], r["algorithm"], int(r["num_ranks"]),
+                 float(r["msg_bytes"])) for r in rows}
+
     # -- read back ------------------------------------------------------- #
 
     def strategies(self) -> list[str]:
@@ -319,11 +510,16 @@ class TuningStore:
             ).fetchall()
         return [r["strategy"] for r in rows]
 
-    def load_table(self, strategy: str | None = None) -> "SelectionTable":
+    def load_table(self, strategy: str | None = None, *,
+                   exclude_suspect: bool = True) -> "SelectionTable":
         """Rebuild the :class:`SelectionTable` stored under ``strategy``.
 
         With one strategy in the store the argument is optional; with
-        several it must be named.
+        several it must be named.  By default, rules whose every backing
+        measurement is marked suspect (see :meth:`apply_lint`) are left
+        out — the lookup's nearest-below bucketing or the caller's
+        fallback covers the hole; pass ``exclude_suspect=False`` for the
+        raw table.
         """
         from repro.selection.table import SelectionTable
 
@@ -343,9 +539,23 @@ class TuningStore:
                 " ORDER BY collective, comm_size, msg_bytes",
                 (strategy,),
             ).fetchall()
+        dropped = 0
+        if rows and exclude_suspect:
+            # A pattern-agnostic rule may be backed by any pattern's cell,
+            # so the coordinate key deliberately omits the pattern.
+            bad = self._suspect_only_coords(with_pattern=False)
+            if bad:
+                kept = [r for r in rows
+                        if (r["collective"], r["algorithm"],
+                            int(r["comm_size"]), float(r["msg_bytes"]))
+                        not in bad]
+                dropped = len(rows) - len(kept)
+                rows = kept
         if not rows:
+            extra = (" (every rule derives solely from suspect cells)"
+                     if dropped else "")
             raise StoreError(
-                f"{self.path} holds no rules for strategy {strategy!r}"
+                f"{self.path} holds no rules for strategy {strategy!r}{extra}"
             )
         table = SelectionTable(strategy_name=strategy)
         for r in rows:
@@ -353,11 +563,14 @@ class TuningStore:
                            float(r["msg_bytes"]), r["algorithm"])
         return table
 
-    def load_pattern_tables(self) -> dict[str, "SelectionTable"]:
+    def load_pattern_tables(self, *, exclude_suspect: bool = True
+                            ) -> dict[str, "SelectionTable"]:
         """One :class:`SelectionTable` per arrival pattern (may be empty).
 
         Reuses the table's nearest-below bucketing, so pattern-conditioned
-        lookups behave exactly like pattern-agnostic ones.
+        lookups behave exactly like pattern-agnostic ones.  Suspect-backed
+        rules are excluded like :meth:`load_table` does, except the
+        coordinate match includes the pattern.
         """
         from repro.selection.table import SelectionTable
 
@@ -368,6 +581,13 @@ class TuningStore:
                 " ORDER BY pattern, collective, comm_size, msg_bytes",
                 (PATTERN_BEST,),
             ).fetchall()
+        if rows and exclude_suspect:
+            bad = self._suspect_only_coords(with_pattern=True)
+            if bad:
+                rows = [r for r in rows
+                        if (r["collective"], r["algorithm"],
+                            int(r["comm_size"]), float(r["msg_bytes"]),
+                            r["pattern"]) not in bad]
         tables: dict[str, SelectionTable] = {}
         for r in rows:
             table = tables.setdefault(
@@ -418,7 +638,8 @@ class TuningStore:
             return {
                 table: int(self._conn.execute(
                     f"SELECT COUNT(*) AS n FROM {table}").fetchone()["n"])
-                for table in ("provenance", "sweeps", "bench_results", "rules")
+                for table in ("provenance", "sweeps", "bench_results",
+                              "rules", "lint_findings")
             }
 
     def schema_version(self) -> int:

@@ -129,6 +129,28 @@ class TestSelectionTable:
         # Below every bucket: clamps up to the smallest tuned size.
         assert table.lookup("allreduce", 2, 1024) == "ring"
 
+    def test_empty_rule_list_still_buckets_to_nearest_below(self):
+        """An empty rule list at the exact comm size must not short-circuit
+        the nearest-below bucketing (regression: `rules is None` guard)."""
+        table = SelectionTable()
+        table.add_rule("alltoall", 32, 0.0, "bruck")
+        table._rules[("alltoall", 64)] = []  # registered but empty
+        assert table.lookup("alltoall", 64, 8) == "bruck"
+        # comm_sizes/collectives only report sizes that hold rules.
+        assert table.comm_sizes("alltoall") == [32]
+        assert table.collectives == ["alltoall"]
+
+    def test_comm_size_cache_invalidates_on_add_rule(self):
+        table = SelectionTable()
+        table.add_rule("alltoall", 32, 0.0, "bruck")
+        assert table.comm_sizes("alltoall") == [32]  # primes the cache
+        table.add_rule("alltoall", 128, 0.0, "pairwise")
+        assert table.comm_sizes("alltoall") == [32, 128]
+        assert table.lookup("alltoall", 200, 8) == "pairwise"
+        # Mutating the returned list must not corrupt the cache.
+        table.comm_sizes("alltoall").append(999)
+        assert table.comm_sizes("alltoall") == [32, 128]
+
     def test_msg_size_below_smallest_bucket_clamps(self):
         """A query smaller than every tuned size uses the smallest rule."""
         table = SelectionTable()
@@ -261,3 +283,43 @@ class TestOmpiRulesExport:
     def test_empty_table_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
             write_ompi_rules_file(tmp_path / "x", SelectionTable())
+
+    def test_fractional_boundaries_do_not_collapse_to_duplicates(self, tmp_path):
+        """Truncating fractional boundaries must dedupe message sizes,
+        keeping the larger original boundary's algorithm."""
+        table = SelectionTable()
+        table.add_rule("alltoall", 16, 100.4, "bruck")
+        table.add_rule("alltoall", 16, 100.9, "pairwise")
+        path = tmp_path / "rules.conf"
+        write_ompi_rules_file(path, table)
+        data = [l.split("#")[0].strip() for l in path.read_text().splitlines()]
+        msg_sizes = [int(l.split()[0]) for l in data if len(l.split()) == 4]
+        assert len(msg_sizes) == len(set(msg_sizes)), "duplicate boundaries"
+        # pairwise (id 2) governs the truncated 100-byte boundary; bruck
+        # (id 3, the smallest rule) is replicated down to message size 0.
+        joined = path.read_text()
+        assert "100 2 0 0" in joined
+        assert "0 3 0 0" in joined
+
+    def test_zero_byte_rule_prepended_when_absent(self, tmp_path):
+        table = SelectionTable()
+        table.add_rule("alltoall", 16, 32768.0, "pairwise")
+        path = tmp_path / "rules.conf"
+        write_ompi_rules_file(path, table)
+        data = [l.split("#")[0].strip() for l in path.read_text().splitlines()]
+        rules = [l for l in data if len(l.split()) == 4]
+        # coll_tuned wants coverage from 0: the smallest rule is replicated.
+        assert rules[0] == "0 2 0 0"
+        assert rules[1] == "32768 2 0 0"
+        # The declared rule count matches the emitted lines.
+        assert data[data.index(rules[0]) - 1] == "2"
+
+    def test_explicit_zero_rule_not_duplicated(self, tmp_path):
+        table = SelectionTable()
+        table.add_rule("alltoall", 16, 0.0, "bruck")
+        table.add_rule("alltoall", 16, 32768.0, "pairwise")
+        path = tmp_path / "rules.conf"
+        write_ompi_rules_file(path, table)
+        data = [l.split("#")[0].strip() for l in path.read_text().splitlines()]
+        rules = [l for l in data if len(l.split()) == 4]
+        assert rules == ["0 3 0 0", "32768 2 0 0"]

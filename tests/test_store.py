@@ -15,6 +15,7 @@ from repro.selection.table import SelectionTable
 from repro.store import (
     PATTERN_BEST,
     TuningStore,
+    canonical_json,
     content_hash,
     open_store,
 )
@@ -53,7 +54,8 @@ class TestSchemaMigration:
         with TuningStore(path) as store:
             assert store.schema_version() == LATEST_VERSION
             assert store.counts() == {"provenance": 0, "sweeps": 0,
-                                      "bench_results": 0, "rules": 0}
+                                      "bench_results": 0, "rules": 0,
+                                      "lint_findings": 0}
 
     def test_v1_file_migrates_and_keeps_data(self, tmp_path):
         path = tmp_path / "v1.db"
@@ -90,6 +92,33 @@ class TestSchemaMigration:
         mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
         store.close()
         assert mode == "wal"
+
+
+class TestCanonicalJson:
+    """NaN/Infinity must never reach a content-addressed row (regression:
+    json.dumps defaults to allow_nan=True)."""
+
+    def test_non_finite_float_names_the_key_path(self):
+        with pytest.raises(ConfigurationError, match=r"\$\.a\.b\[1\]"):
+            canonical_json({"a": {"b": [1.0, float("nan")]}})
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            canonical_json({"x": float("inf")})
+
+    def test_content_hash_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            content_hash({"delay": float("nan")})
+
+    def test_finite_payloads_hash_as_before(self):
+        assert canonical_json({"b": 1, "a": [2.0]}) == '{"a":[2.0],"b":1}'
+
+    def test_nan_result_ingest_is_rejected(self, tmp_path):
+        timing = CollectiveTiming(np.zeros(2), np.full(2, np.nan))
+        bad = BenchResult("alltoall", "bruck", 1024.0, 4, "no_delay",
+                          0.0, [timing])
+        with TuningStore(tmp_path / "t.db") as store:
+            with pytest.raises(ConfigurationError, match="non-finite"):
+                store.ingest_result(bad)
+            assert store.counts()["bench_results"] == 0
 
 
 class TestIngestIdempotency:
