@@ -7,11 +7,45 @@ paths, and a regression guard for the experiment suite's overall runtime.
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
+import pytest
+
 from repro.clocks import ClockSet
 from repro.clocks.sync import sync_clocks
 from repro.collectives import CollArgs, make_input, run_collective
+from repro.sim.flow import FlowConfig
 from repro.sim.mpi import run_processes
 from repro.sim.platform import Platform
+
+# Aligned entries (single collective from t=0), no payload materialization:
+# the scale benches time the engine, not result building.
+_HYBRID = FlowConfig(mode="hybrid", declared_spread=0.0, payloads=False)
+
+scale_only = pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_SCALE") != "1",
+    reason="set REPRO_BENCH_SCALE=1 for the largest-scale engine benches",
+)
+
+
+def _flow_collective_job(plat, collective, algorithm, args, flow):
+    """A zero-copy collective runner: one shared zeros input for all ranks.
+
+    With ``payloads=False`` the flow path never materializes results, so a
+    single shared input array serves every rank without O(p^2) memory.
+    """
+    p = plat.num_ranks
+    shape = (p, args.count) if collective == "alltoall" else (args.count,)
+    data = np.zeros(shape)
+
+    def prog(ctx):
+        yield from run_collective(ctx, collective, algorithm, args, data)
+
+    def job():
+        return run_processes(plat, prog, flow=flow)
+
+    return job
 
 
 def bench_engine_alltoall_throughput(benchmark):
@@ -49,23 +83,92 @@ def bench_engine_tree_collective_throughput(benchmark):
 
 
 def bench_engine_alltoall_1024(benchmark):
-    """The scale ceiling: a 1024-rank linear Alltoall (~1M messages, ~1M-deep
-    event backlog).  One round — this is a seconds-scale single run that
-    exercises the O(1) matching, per-port event chains, and countdown waits
-    at full memory pressure."""
+    """The old scale ceiling: a 1024-rank linear Alltoall (~1M messages),
+    routed through the hybrid flow engine.  The aligned single-collective
+    program is provably flow-eligible, so the whole exchange collapses to
+    one analytic batch — bit-identical exit times at a fraction of the
+    exact engine's ~9 s (see BENCH_engine.json history)."""
     plat = Platform("t", nodes=128, cores_per_node=8)
     p = plat.num_ranks
     args = CollArgs(count=4, msg_bytes=1024.0)
-    inputs = [make_input("alltoall", r, p, 4) for r in range(p)]
-
-    def prog(ctx):
-        yield from run_collective(ctx, "alltoall", "basic_linear", args, inputs[ctx.rank])
-
-    def job():
-        return run_processes(plat, prog)
+    job = _flow_collective_job(plat, "alltoall", "basic_linear", args, _HYBRID)
 
     result = benchmark.pedantic(job, rounds=1, iterations=1)
-    assert result.events_processed > p * (p - 1)
+    # Flow engagement: only start/resume events remain, not ~p^2 deliveries.
+    assert 0 < result.events_processed <= 4 * p
+    assert result.final_time > 0
+
+
+def bench_engine_alltoall_4096(benchmark):
+    """A 4096-rank pairwise Alltoall (~16.8M messages) through the hybrid
+    flow engine — the CI scale smoke target.  Single-core nodes keep every
+    port single-owner, so the stepped replay is bit-exact at any skew and
+    memory stays O(p) per step."""
+    plat = Platform("t", nodes=4096, cores_per_node=1)
+    p = plat.num_ranks
+    args = CollArgs(count=4, msg_bytes=1024.0)
+    job = _flow_collective_job(plat, "alltoall", "pairwise", args, _HYBRID)
+
+    result = benchmark.pedantic(job, rounds=1, iterations=1)
+    assert 0 < result.events_processed <= 4 * p
+    assert result.final_time > 0
+
+
+def bench_engine_alltoall_8192(benchmark):
+    """An 8192-rank pairwise Alltoall (~67M messages) through the hybrid
+    engine.  Single-core nodes keep every port single-owner, so the stepped
+    replay is bit-exact at any skew; memory stays O(p) per step."""
+    plat = Platform("t", nodes=8192, cores_per_node=1)
+    p = plat.num_ranks
+    args = CollArgs(count=4, msg_bytes=1024.0)
+    job = _flow_collective_job(plat, "alltoall", "pairwise", args, _HYBRID)
+
+    result = benchmark.pedantic(job, rounds=1, iterations=1)
+    assert 0 < result.events_processed <= 4 * p
+    assert result.final_time > 0
+
+
+def bench_engine_allreduce_4096(benchmark):
+    """A 4096-rank ring Allreduce (reduce-scatter + allgather, ~33.5M
+    messages) through the hybrid engine on an SMP platform."""
+    plat = Platform("t", nodes=512, cores_per_node=8)
+    p = plat.num_ranks
+    args = CollArgs(count=p, msg_bytes=float(8 * p))
+    job = _flow_collective_job(plat, "allreduce", "ring", args, _HYBRID)
+
+    result = benchmark.pedantic(job, rounds=1, iterations=1)
+    assert 0 < result.events_processed <= 4 * p
+    assert result.final_time > 0
+
+
+def bench_engine_allreduce_8192(benchmark):
+    """An 8192-rank ring Allreduce (~134M messages) through the hybrid
+    engine."""
+    plat = Platform("t", nodes=1024, cores_per_node=8)
+    p = plat.num_ranks
+    args = CollArgs(count=p, msg_bytes=float(8 * p))
+    job = _flow_collective_job(plat, "allreduce", "ring", args, _HYBRID)
+
+    result = benchmark.pedantic(job, rounds=1, iterations=1)
+    assert 0 < result.events_processed <= 4 * p
+    assert result.final_time > 0
+
+
+@scale_only
+def bench_engine_alltoall_16384_flow(benchmark):
+    """A 16384-rank pairwise Alltoall (~268M messages) in forced flow mode —
+    the new scale ceiling.  Exact simulation at this size is out of reach
+    (hundreds of millions of events); flow mode costs p-1 vectorized
+    steps."""
+    plat = Platform("t", nodes=16384, cores_per_node=1)
+    p = plat.num_ranks
+    args = CollArgs(count=4, msg_bytes=1024.0)
+    flow = FlowConfig(mode="flow", payloads=False)
+    job = _flow_collective_job(plat, "alltoall", "pairwise", args, flow)
+
+    result = benchmark.pedantic(job, rounds=1, iterations=1)
+    assert 0 < result.events_processed <= 4 * p
+    assert result.final_time > 0
 
 
 def bench_engine_bcast_1024(benchmark):

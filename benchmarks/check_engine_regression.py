@@ -1,16 +1,27 @@
 #!/usr/bin/env python
-"""Soft-fail regression gate for the engine micro-benchmarks.
+"""Regression gate for the engine micro-benchmarks.
 
 Compares the medians of a fresh ``pytest-benchmark --benchmark-json`` run
-against the committed baseline (``BENCH_engine.json``) and emits a GitHub
-Actions ``::warning::`` annotation for every benchmark whose median regressed
-by more than the threshold (default 25%).  Always exits 0 — CI machines are
-noisy enough that a hard gate on wall-clock medians would flake; the warning
-makes the regression visible on the PR without blocking it.
+against the committed baseline (``BENCH_engine.json``).  Two kinds of drift
+are treated differently:
+
+* **Coverage drift is a hard failure.**  A benchmark present in the fresh run
+  but missing from the baseline (or vice versa) exits non-zero: it means a
+  bench was added, renamed, or silently dropped without updating the
+  committed baseline, which would let scale coverage rot unnoticed.  Runs
+  that intentionally execute only a subset of the suite (the default CI bench
+  job skips the ``REPRO_BENCH_SCALE``-gated benches) pass ``--subset``, which
+  tolerates baseline entries that were not run — fresh benches missing from
+  the baseline still fail.
+* **Slowdowns are soft warnings.**  A median regressed beyond the threshold
+  (default 25%) emits a GitHub Actions ``::warning::`` annotation but never
+  fails the run — CI machines are noisy enough that a hard wall-clock gate
+  would flake.
 
 Usage::
 
     python benchmarks/check_engine_regression.py fresh.json
+    python benchmarks/check_engine_regression.py --subset fresh.json
     python benchmarks/check_engine_regression.py --threshold 0.5 fresh.json
     python benchmarks/check_engine_regression.py --update fresh.json  # rewrite baseline
 """
@@ -48,14 +59,25 @@ def write_baseline(medians: dict[str, float], path: Path = BASELINE_PATH) -> Non
 
 
 def compare(fresh: dict[str, float], baseline: dict[str, float],
-            threshold: float) -> list[str]:
-    """Return one warning line per benchmark regressed beyond ``threshold``."""
+            threshold: float, subset: bool = False) -> tuple[list[str], list[str]]:
+    """Return (hard errors, soft warnings) for a fresh run vs the baseline."""
+    errors = []
     warnings = []
+    for name in sorted(fresh):
+        if name not in baseline:
+            errors.append(
+                f"::error::engine benchmark '{name}' has no baseline entry — "
+                f"run check_engine_regression.py --update to record it in "
+                f"BENCH_engine.json"
+            )
     for name, base in sorted(baseline.items()):
         if name not in fresh:
-            warnings.append(
-                f"::warning::engine benchmark '{name}' is in the baseline but "
-                f"was not run (renamed or removed? update BENCH_engine.json)"
+            if subset:
+                continue
+            errors.append(
+                f"::error::engine benchmark '{name}' is in the baseline but "
+                f"was not run (renamed or removed? update BENCH_engine.json, "
+                f"or pass --subset for partial runs)"
             )
             continue
         now = fresh[name]
@@ -66,7 +88,7 @@ def compare(fresh: dict[str, float], baseline: dict[str, float],
                 f"({base * 1e3:.2f} ms -> {now * 1e3:.2f} ms, "
                 f"threshold {threshold * 100:.0f}%)"
             )
-    return warnings
+    return errors, warnings
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -75,6 +97,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="pytest-benchmark --benchmark-json output file")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional median slowdown (default 0.25)")
+    parser.add_argument("--subset", action="store_true",
+                        help="tolerate baseline benches that were not run "
+                             "(for runs that skip the scale-gated benches)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the committed baseline from this run")
     args = parser.parse_args(argv)
@@ -85,13 +110,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"baseline updated: {BASELINE_PATH}")
         return 0
 
-    warnings = compare(fresh, load_baseline(), args.threshold)
-    for line in warnings:
+    errors, warnings = compare(fresh, load_baseline(), args.threshold,
+                               subset=args.subset)
+    for line in errors + warnings:
         print(line)
     print(f"engine benchmarks checked: {len(fresh)} run, "
-          f"{len(warnings)} warning(s), threshold {args.threshold * 100:.0f}%")
-    # Soft gate: warnings annotate the run, they never fail it.
-    return 0
+          f"{len(errors)} error(s), {len(warnings)} warning(s), "
+          f"threshold {args.threshold * 100:.0f}%")
+    # Coverage drift blocks; wall-clock noise only annotates.
+    return 1 if errors else 0
 
 
 if __name__ == "__main__":

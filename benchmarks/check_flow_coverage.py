@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""CI coverage gate: the hybrid engine must actually collapse flow batches.
+
+Runs a small flow-eligible cell (an aligned 4096-rank pairwise Alltoall on
+single-core nodes) through the hybrid engine and fails (exit 1) unless the
+flow path engaged: ``flow.batches`` > 0 both on the runtime's own counters
+and in the obs metrics registry, and the event count collapsed to the O(p)
+start/resume skeleton instead of the O(p^2) per-message schedule.
+
+This protects the scale benchmarks from silently regressing into exact-mode
+dispatch (e.g. a descriptor rename or an eligibility-rule change): the wall
+clock of an accidental exact run at 4096 ranks would still *finish* inside
+the CI budget, so only an explicit engagement check catches it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_flow_coverage.py [--ranks 4096]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import obs
+from repro.collectives import CollArgs, run_collective
+from repro.sim.flow import FlowConfig
+from repro.sim.mpi import build_engine
+from repro.sim.platform import Platform
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ranks", type=int, default=4096,
+                        help="job size for the probe cell (default 4096)")
+    args_ns = parser.parse_args(argv)
+
+    plat = Platform("probe", nodes=args_ns.ranks, cores_per_node=1)
+    p = plat.num_ranks
+    args = CollArgs(count=4, msg_bytes=1024.0)
+    data = np.zeros((p, args.count))
+
+    def prog(ctx):
+        yield from run_collective(ctx, "alltoall", "pairwise", args, data)
+
+    flow = FlowConfig(mode="hybrid", declared_spread=0.0, payloads=False)
+    with obs.session(meta={"check": "flow_coverage", "ranks": p}) as octx:
+        engine, contexts = build_engine(plat, flow=flow)
+        for rank, ctx in enumerate(contexts):
+            engine.set_process(rank, prog(ctx))
+        engine.run()
+        counters = {
+            name: m["value"]
+            for name, m in octx.metrics.snapshot().items()
+            if m.get("kind") == "counter" and name.startswith("flow.")
+        }
+
+    rt = engine.flow_runtime
+    events = engine.events_processed
+    print(f"flow coverage probe: {p} ranks, events_processed={events}, "
+          f"runtime batches={rt.batches} fallback_calls={rt.fallback_calls}, "
+          f"obs counters={counters}")
+
+    failures = []
+    if rt.batches <= 0:
+        failures.append("flow_runtime.batches is 0 — hybrid dispatch never "
+                        "collapsed a phase")
+    if counters.get("flow.batches", 0) <= 0:
+        failures.append("obs counter 'flow.batches' is 0 — metrics were not "
+                        "recorded for the flow path")
+    if rt.fallback_calls > 0:
+        failures.append(f"flow_runtime.fallback_calls={rt.fallback_calls} — "
+                        f"the probe cell should be fully flow-eligible")
+    if not 0 < events <= 4 * p:
+        failures.append(f"events_processed={events} outside the O(p) skeleton "
+                        f"bound {4 * p} — a per-message schedule leaked through")
+    for msg in failures:
+        print(f"::error::flow coverage: {msg}")
+    if not failures:
+        print("flow coverage OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

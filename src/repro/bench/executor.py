@@ -114,6 +114,8 @@ class CellSpec:
     pattern: PatternSpec | None
     op: str = "sum"
     segment_bytes: float | None = None
+    engine_mode: str = "exact"
+    flow_tolerance: float = 0.0
 
     @classmethod
     def from_bench(
@@ -155,6 +157,8 @@ class CellSpec:
             pattern=PatternSpec.from_pattern(pattern) if pattern is not None else None,
             op=op.name if op is not None else "sum",
             segment_bytes=float(segment_bytes) if segment_bytes is not None else None,
+            engine_mode=bench.engine_mode,
+            flow_tolerance=bench.flow_tolerance,
         )
 
     def make_bench(self) -> "MicroBenchmark":
@@ -179,6 +183,8 @@ class CellSpec:
             count=self.count,
             harmonize_slack=self.harmonize_slack,
             machine_name=self.machine_name,
+            engine_mode=self.engine_mode,
+            flow_tolerance=self.flow_tolerance,
         )
 
     def run(self) -> "BenchResult":
@@ -199,7 +205,7 @@ class CellSpec:
     # -- hashing ------------------------------------------------------- #
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "platform": {
                 "name": self.platform_name,
                 "nodes": self.nodes,
@@ -221,6 +227,12 @@ class CellSpec:
             "op": self.op,
             "segment_bytes": self.segment_bytes,
         }
+        # Emitted only when non-default so exact-mode cache keys (and any
+        # results cached before the flow engine existed) stay valid.
+        if self.engine_mode != "exact":
+            d["engine_mode"] = self.engine_mode
+            d["flow_tolerance"] = self.flow_tolerance
+        return d
 
     def cache_key(self) -> str:
         """SHA-256 over the canonical spec JSON and the model version."""

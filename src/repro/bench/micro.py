@@ -28,6 +28,7 @@ from repro.collectives import CollArgs, make_input, run_collective
 from repro.collectives.ops import SUM, ReduceOp
 from repro.obs.context import current as _obs_current
 from repro.patterns.generator import ArrivalPattern, no_delay_pattern
+from repro.sim.flow import ENGINE_MODES, FlowConfig
 from repro.sim.mpi import run_processes
 from repro.sim.network import NetworkParams
 from repro.sim.noise import NoiseModel, get_noise_profile
@@ -52,6 +53,14 @@ class MicroBenchmark:
     count:
         Payload items per contribution — decoupled from the modeled
         ``msg_bytes`` (see :class:`~repro.collectives.base.CollArgs`).
+    engine_mode:
+        ``"exact"`` (per-message simulation), ``"hybrid"`` (flow-level fast
+        path where provably bit-exact, exact otherwise), or ``"flow"``
+        (always flow — analytic approximation under skew).  See
+        :mod:`repro.sim.flow`.
+    flow_tolerance:
+        Hybrid-mode arrival-spread tolerance in seconds; patterns whose
+        declared skew spread exceeds it take the exact path.
     """
 
     platform: Platform
@@ -63,6 +72,8 @@ class MicroBenchmark:
     count: int = 64
     harmonize_slack: float = 1e-3
     machine_name: str = ""
+    engine_mode: str = "exact"
+    flow_tolerance: float = 0.0
 
     def __post_init__(self) -> None:
         if self.nrep <= 0:
@@ -71,6 +82,13 @@ class MicroBenchmark:
             raise ConfigurationError(f"unknown clock_mode {self.clock_mode!r}")
         if self.count <= 0:
             raise ConfigurationError("count must be positive")
+        if self.engine_mode not in ENGINE_MODES:
+            raise ConfigurationError(
+                f"unknown engine_mode {self.engine_mode!r}; "
+                f"expected one of {ENGINE_MODES}"
+            )
+        if self.flow_tolerance < 0:
+            raise ConfigurationError("flow_tolerance must be non-negative")
         get_noise_profile(self.noise_profile)  # validate early
 
     @classmethod
@@ -164,12 +182,31 @@ class MicroBenchmark:
                 observations.append((a, e))
             return observations
 
+        flow = None
+        if self.engine_mode != "exact":
+            # Each repetition harmonizes, so collective entries are aligned
+            # up to the pattern's skews: declare that spread so hybrid
+            # dispatch can prove (or refuse) flow eligibility.  Synced
+            # clocks add drift-dependent wait error on top, which cannot be
+            # bounded here — leave the spread undeclared (hybrid then takes
+            # the exact path; forced flow still engages).
+            declared = (
+                float(pattern.skews.max() - pattern.skews.min())
+                if not synced
+                else None
+            )
+            flow = FlowConfig(
+                mode=self.engine_mode,
+                tolerance=self.flow_tolerance,
+                declared_spread=declared,
+            )
         with octx.wall_span(
             "bench.cell", track="bench",
             args={"collective": collective, "algorithm": algorithm,
                   "msg_bytes": float(msg_bytes), "pattern": pattern.name},
         ):
-            run = run_processes(self.platform, prog, params=self.params, noise=noise)
+            run = run_processes(self.platform, prog, params=self.params,
+                                noise=noise, flow=flow)
         timings = []
         for rep in range(nrep):
             arrivals = np.array([run.rank_results[r][rep][0] for r in range(p)])

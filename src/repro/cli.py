@@ -40,6 +40,13 @@ def _add_common(parser: argparse.ArgumentParser, machine_default: str = "hydra",
     parser.add_argument("--cache-dir", default=None, metavar="PATH",
                         help="content-addressed result cache; re-runs skip "
                         "already-simulated cells")
+    parser.add_argument("--engine-mode", default="exact",
+                        choices=("exact", "hybrid", "flow"),
+                        help="collective simulation engine: 'exact' simulates "
+                        "every message; 'hybrid' collapses provably bit-exact "
+                        "regular phases into analytic flow batches (large-scale "
+                        "speedup, identical results); 'flow' forces the "
+                        "analytic path even where it only approximates")
     parser.add_argument("--verbose", action="store_true",
                         help="print aggregate engine statistics (events, match "
                         "fast-path hits, events/s) to stderr when done; worker "
@@ -66,6 +73,7 @@ def _config(args: argparse.Namespace, machine: str | None = None) -> ExperimentC
         fast=args.fast,
         jobs=getattr(args, "jobs", 1),
         cache_dir=getattr(args, "cache_dir", None),
+        engine_mode=getattr(args, "engine_mode", "exact"),
     )
 
 

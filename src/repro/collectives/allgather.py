@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.collectives.base import as_array, ceil_log2, register
+from repro.collectives.base import (
+    FlowPlan,
+    as_array,
+    ceil_log2,
+    phase_descriptor,
+    register,
+)
 from repro.sim.mpi import ProcContext
 
 
@@ -152,3 +158,31 @@ def allgather_neighbor_exchange(ctx, args, data):
         out[lo + 1] = arrived[1]
         send_from = lo
     return out
+
+
+# --------------------------------------------------------------------- #
+# Flow-phase descriptors (repro.sim.flow)
+# --------------------------------------------------------------------- #
+
+
+@phase_descriptor("allgather", "ring")
+def _ring_flow(p, args, net):
+    msg_bytes = float(args.msg_bytes)
+
+    def steps():
+        idx = np.arange(p, dtype=np.int64)
+        right = (idx + 1) % p
+        left = (idx - 1) % p
+        sbytes = np.full(p, msg_bytes)
+        for step in range(p - 1):
+            yield right, left, sbytes
+
+    return FlowPlan(
+        kind="stepped",
+        collective="allgather",
+        algorithm="ring",
+        hetero_ok=True,
+        est_messages=p * (p - 1),
+        num_steps=p - 1,
+        steps=steps,
+    )

@@ -14,8 +14,10 @@ from repro.collectives import bcast as _bcast
 from repro.collectives import reduce as _reduce
 from repro.collectives.base import (
     CollArgs,
+    FlowPlan,
     as_array,
     largest_power_of_two_leq,
+    phase_descriptor,
     register,
 )
 from repro.sim.mpi import ProcContext
@@ -255,3 +257,72 @@ def allreduce_rabenseifner(ctx, args, data):
         else:
             yield from ctx.send(me - 1, args.msg_bytes, args.tag, payload=own)
     return own
+
+
+# --------------------------------------------------------------------- #
+# Flow-phase descriptors (repro.sim.flow)
+# --------------------------------------------------------------------- #
+
+
+@phase_descriptor("allreduce", "recursive_doubling")
+def _recursive_doubling_flow(p, args, net):
+    # Regular only at powers of two: the fold/unfold rounds for leftover
+    # ranks break the lockstep-exchange shape.
+    if p & (p - 1):
+        return None
+    rounds = p.bit_length() - 1
+    msg_bytes = float(args.msg_bytes)
+
+    def steps():
+        idx = np.arange(p, dtype=np.int64)
+        sbytes = np.full(p, msg_bytes)
+        mask = 1
+        while mask < p:
+            partner = idx ^ mask
+            yield partner, partner, sbytes
+            mask <<= 1
+
+    return FlowPlan(
+        kind="stepped",
+        collective="allreduce",
+        algorithm="recursive_doubling",
+        hetero_ok=True,
+        est_messages=p * rounds,
+        num_steps=rounds,
+        steps=steps,
+    )
+
+
+@phase_descriptor("allreduce", "ring")
+def _ring_flow(p, args, net):
+    # count < p delegates to recursive doubling inside the algorithm — a
+    # different schedule; let the exact path (or its own descriptor via a
+    # direct call) handle it.
+    if args.count < p:
+        return None
+    bounds = np.linspace(0, args.count, p + 1).astype(int)
+    blen = np.diff(bounds)
+
+    def steps():
+        idx = np.arange(p, dtype=np.int64)
+        right = (idx + 1) % p
+        left = (idx - 1) % p
+        # Reduce-scatter rounds, then allgather rounds, exactly as
+        # _ring_exchange schedules them; per-rank wire bytes replicate
+        # args.bytes_for(blen(send_i)) operation-for-operation.
+        for step in range(p - 1):
+            send_i = (idx - step) % p
+            yield right, left, args.msg_bytes * (blen[send_i] / args.count)
+        for step in range(p - 1):
+            send_i = (idx + 1 - step) % p
+            yield right, left, args.msg_bytes * (blen[send_i] / args.count)
+
+    return FlowPlan(
+        kind="stepped",
+        collective="allreduce",
+        algorithm="ring",
+        hetero_ok=True,
+        est_messages=2 * p * (p - 1),
+        num_steps=2 * (p - 1),
+        steps=steps,
+    )

@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.collectives.base import as_matrix, ceil_log2, register
+from repro.collectives.base import (
+    FlowPlan,
+    as_matrix,
+    ceil_log2,
+    phase_descriptor,
+    register,
+)
 from repro.sim.mpi import ProcContext
 
 
@@ -146,3 +152,46 @@ def alltoall_linear_sync(ctx, args, data, window: int = 4):
     for src, rreq in recv_of.items():
         out[src] = rreq.payload  # type: ignore[attr-defined]
     return out
+
+
+# --------------------------------------------------------------------- #
+# Flow-phase descriptors (repro.sim.flow)
+# --------------------------------------------------------------------- #
+
+
+@phase_descriptor("alltoall", "basic_linear")
+def _basic_linear_flow(p, args, net):
+    # The post-everything-then-wait shape is only phase-regular under the
+    # eager protocol; rendezvous handshakes reorder against post order, so
+    # large messages keep exact per-message simulation.
+    if args.msg_bytes > net.eager_max:
+        return None
+    return FlowPlan(
+        kind="linear",
+        collective="alltoall",
+        algorithm="basic_linear",
+        hetero_ok=True,
+        est_messages=p * (p - 1),
+        msg_bytes=float(args.msg_bytes),
+    )
+
+
+@phase_descriptor("alltoall", "pairwise")
+def _pairwise_flow(p, args, net):
+    msg_bytes = float(args.msg_bytes)
+
+    def steps():
+        idx = np.arange(p, dtype=np.int64)
+        sbytes = np.full(p, msg_bytes)
+        for step in range(1, p):
+            yield (idx + step) % p, (idx - step) % p, sbytes
+
+    return FlowPlan(
+        kind="stepped",
+        collective="alltoall",
+        algorithm="pairwise",
+        hetero_ok=True,
+        est_messages=p * (p - 1),
+        num_steps=p - 1,
+        steps=steps,
+    )

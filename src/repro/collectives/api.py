@@ -50,21 +50,56 @@ def run_collective(ctx: ProcContext, collective: str, algorithm: str, args: Coll
     instrumentation point: it counts the call and records one
     arrival-to-exit span on the rank's virtual-time track — which is what
     makes process arrival patterns readable straight off the trace.
+
+    When the engine carries a flow runtime (``--engine-mode hybrid|flow``,
+    see :mod:`repro.sim.flow`) and the schedule declares a phase plan
+    eligible under the dispatch rules, the call is collapsed into one flow
+    batch instead of per-message simulation; the span/counter semantics are
+    identical either way.
     """
     info = get_algorithm(collective, algorithm)
+    engine = ctx.engine
+    engine.activity = f"{collective}/{algorithm}"
+    body = None
+    runtime = engine.flow_runtime
+    if runtime is not None:
+        body = runtime.dispatch(
+            ctx, collective, algorithm, args, data,
+            _flow_result_fn(collective, args),
+        )
+    if body is None:
+        body = info.fn(ctx, args, data)
     octx = _obs_current()
     if not octx.enabled:
-        return (yield from info.fn(ctx, args, data))
+        return (yield from body)
     octx.metrics.counter(f"collective.calls.{collective}.{algorithm}").inc()
     if not octx.record_spans:
-        return (yield from info.fn(ctx, args, data))
+        return (yield from body)
     arrival = ctx.time()
-    result = yield from info.fn(ctx, args, data)
+    result = yield from body
     octx.record_rank_span(
         f"{collective}/{algorithm}", ctx.rank, arrival, ctx.time(),
         args={"msg_bytes": args.msg_bytes},
     )
     return result
+
+
+def _flow_result_fn(collective: str, args: CollArgs):
+    """Per-rank result builder for flow-batched collectives.
+
+    The gate collects every rank's input; the batch resolver calls this
+    once with the full input list and distributes ``out[rank]`` as each
+    rank's collective result — :func:`reference_result` by construction,
+    which every exact algorithm is already validated against.
+    """
+
+    def result_fn(inputs):
+        return [
+            reference_result(collective, inputs, args, rank)
+            for rank in range(len(inputs))
+        ]
+
+    return result_fn
 
 
 def reference_result(

@@ -7,7 +7,16 @@ messages are modeled as single-byte control messages; ``args.count`` and
 
 from __future__ import annotations
 
-from repro.collectives.base import binomial_tree, largest_power_of_two_leq, register
+import numpy as np
+
+from repro.collectives.base import (
+    FlowPlan,
+    binomial_tree,
+    ceil_log2,
+    largest_power_of_two_leq,
+    phase_descriptor,
+    register,
+)
 from repro.sim.mpi import ProcContext
 
 _B = 1  # modeled bytes of a barrier token
@@ -110,3 +119,31 @@ def barrier_tree(ctx, args, data=None):
     for child in children:
         yield from ctx.send(child, _B, args.tag + 1)
     return None
+
+
+# --------------------------------------------------------------------- #
+# Flow-phase descriptors (repro.sim.flow)
+# --------------------------------------------------------------------- #
+
+
+@phase_descriptor("barrier", "bruck")
+def _bruck_flow(p, args, net):
+    rounds = ceil_log2(p)
+
+    def steps():
+        idx = np.arange(p, dtype=np.int64)
+        sbytes = np.full(p, float(_B))
+        distance = 1
+        while distance < p:
+            yield (idx + distance) % p, (idx - distance) % p, sbytes
+            distance <<= 1
+
+    return FlowPlan(
+        kind="stepped",
+        collective="barrier",
+        algorithm="bruck",
+        hetero_ok=True,
+        est_messages=p * rounds,
+        num_steps=rounds,
+        steps=steps,
+    )

@@ -35,6 +35,9 @@ import numpy as np
 
 from repro.errors import ConfigurationError, UnknownAlgorithmError
 from repro.collectives.ops import SUM, ReduceOp
+# Re-exported so family modules declare flow-phase regularity alongside
+# their algorithm registrations (see repro.sim.flow for the dispatch rules).
+from repro.sim.flow import FlowPlan, phase_descriptor
 from repro.sim.mpi import TAG_COLLECTIVE, ProcContext
 
 #: Default segment size (bytes) for segmented/pipelined algorithms, matching
@@ -406,6 +409,8 @@ __all__ = [
     "AlgorithmInfo",
     "CollArgs",
     "DEFAULT_SEGMENT_BYTES",
+    "FlowPlan",
+    "phase_descriptor",
     "register",
     "get_algorithm",
     "get_algorithm_by_id",

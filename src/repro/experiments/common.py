@@ -62,6 +62,8 @@ class ExperimentConfig:
     jobs: int = 1
     #: On-disk result cache directory (None disables caching).
     cache_dir: str | None = None
+    #: Engine dispatch mode: "exact", "hybrid", or "flow" (repro.sim.flow).
+    engine_mode: str = "exact"
 
     def __post_init__(self) -> None:
         if self.nodes <= 0 or self.cores_per_node <= 0:
@@ -87,6 +89,7 @@ class ExperimentConfig:
         spec = get_machine(machine or self.machine)
         kwargs.setdefault("nrep", self.nrep)
         kwargs.setdefault("seed", self.seed)
+        kwargs.setdefault("engine_mode", self.engine_mode)
         return MicroBenchmark.from_machine(
             spec, nodes=self.nodes, cores_per_node=self.cores_per_node, **kwargs
         )

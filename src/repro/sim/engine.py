@@ -436,6 +436,12 @@ class Engine:
         self._outstanding = 0
         self.now = 0.0
         self.stats = EngineStats()
+        # Flow-level fast path (repro.sim.flow).  ``flow_runtime`` is
+        # attached by build_engine when a non-exact FlowConfig is supplied;
+        # ``activity`` names the collective/algorithm currently executing
+        # (best effort, for error reporting only).
+        self.flow_runtime = None
+        self.activity: str | None = None
         # Per-port event chains: deliveries leaving one injection port with
         # one wire latency are scheduled in non-decreasing (time, seq) order
         # (port grants max-chain forward), so they live in a FIFO bucket with
@@ -568,7 +574,9 @@ class Engine:
                 events += 1
                 if events > max_events:
                     raise SimulationError(
-                        f"exceeded max_events={max_events} [{stats.summary()}]"
+                        self._max_events_message(
+                            n_start, n_resume, n_deliver, n_rndv
+                        )
                     )
                 if kind == _EV_RESUME:
                     n_resume += 1
@@ -601,6 +609,22 @@ class Engine:
         if blocked:
             raise DeadlockError(blocked)
         return self.now
+
+    def _max_events_message(self, n_start: int, n_resume: int,
+                            n_deliver: int, n_rndv: int) -> str:
+        msg = f"exceeded max_events={self.max_events} [{self.stats.summary()}]"
+        if self.activity:
+            msg += f" while running {self.activity}"
+        per_message = n_deliver + n_rndv
+        total = n_start + n_resume + per_message
+        if total and per_message * 2 >= total:
+            msg += (
+                "; most events are per-message deliveries, which suggests a "
+                "regular bulk phase blew the budget — consider "
+                "--engine-mode hybrid (repro.sim.flow) to collapse it "
+                "into analytic flow batches"
+            )
+        return msg
 
     # ------------------------------------------------------------------ #
     # Process execution
@@ -673,6 +697,14 @@ class Engine:
             if target > fiber.now:
                 fiber.now = target
             self._schedule(fiber.now, _EV_RESUME, fiber, None)
+        elif kind == "flow_gate":
+            # Flow-level phase barrier (repro.sim.flow): the fiber parks in
+            # the gate; the last arrival replays the whole phase and
+            # schedules every member's resume at its computed exit time.
+            fiber.blocked = True
+            fiber.waiting = None
+            fiber.wait_any = False
+            condition[1].arrive(fiber)
         else:
             raise ProtocolError(
                 f"process {fiber.rank} yielded unknown condition {condition!r}"

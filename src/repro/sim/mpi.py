@@ -242,11 +242,15 @@ def build_engine(
     params: NetworkParams | None = None,
     noise: NoiseModel | None = None,
     num_ranks: int | None = None,
+    flow=None,
 ) -> tuple[Engine, list[ProcContext]]:
     """Create an engine plus one :class:`ProcContext` per rank.
 
     ``num_ranks`` may restrict the job to the first ranks of the platform
-    (like an under-subscribed ``mpirun -np``).
+    (like an under-subscribed ``mpirun -np``).  ``flow`` is an optional
+    :class:`repro.sim.flow.FlowConfig`; a non-exact mode attaches a
+    :class:`~repro.sim.flow.FlowRuntime` enabling the flow-level fast path
+    for collectives with registered phase descriptors.
     """
     network = NetworkModel(platform, params or NetworkParams())
     p = platform.num_ranks if num_ranks is None else num_ranks
@@ -255,6 +259,10 @@ def build_engine(
             f"num_ranks={num_ranks} outside 1..{platform.num_ranks} for {platform.name}"
         )
     engine = Engine(p, network)
+    if flow is not None and flow.mode != "exact":
+        from repro.sim.flow import FlowRuntime
+
+        engine.flow_runtime = FlowRuntime(engine, flow)
     contexts = [ProcContext(engine, rank, noise) for rank in range(p)]
     return engine, contexts
 
@@ -265,9 +273,10 @@ def run_processes(
     params: NetworkParams | None = None,
     noise: NoiseModel | None = None,
     num_ranks: int | None = None,
+    flow=None,
 ) -> RunResult:
     """Run one program (or a per-rank list of programs) to completion."""
-    engine, contexts = build_engine(platform, params, noise, num_ranks)
+    engine, contexts = build_engine(platform, params, noise, num_ranks, flow)
     for rank, ctx in enumerate(contexts):
         rank_fn = fn[rank] if isinstance(fn, (list, tuple)) else fn
         engine.set_process(rank, rank_fn(ctx))
