@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Regression gate for the selection-service load-generator benchmarks.
+
+Compares a fresh ``python -m repro.bench.loadgen`` payload against the
+committed baseline (``BENCH_service.json``).  Mirrors the engine gate's
+philosophy (``check_engine_regression.py``):
+
+* **Coverage drift is a hard failure.**  A workload present in the fresh
+  run but missing from the baseline (or vice versa) exits non-zero — a
+  workload was added, renamed, or silently dropped without updating the
+  committed baseline.  Any fresh workload reporting ``errors > 0`` is
+  also a hard failure: the load mix contains only valid queries, so a
+  single error means the service misbehaved under load.
+* **Performance drift is a soft warning.**  A QPS drop or a p99 latency
+  rise beyond the threshold (default 40% — thread-scheduling noise on
+  shared CI runners dwarfs the engine benches') emits a GitHub Actions
+  ``::warning::`` annotation but never fails the run.
+
+Usage::
+
+    python benchmarks/check_service_regression.py fresh.json
+    python benchmarks/check_service_regression.py --threshold 0.6 fresh.json
+    python benchmarks/check_service_regression.py --update fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_service.json"
+
+
+def load_workloads(path: Path) -> dict[str, dict]:
+    return json.loads(path.read_text())["workloads"]
+
+
+def write_baseline(payload: dict, path: Path = BASELINE_PATH) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def compare(fresh: dict[str, dict], baseline: dict[str, dict],
+            threshold: float) -> tuple[list[str], list[str]]:
+    """Return (hard errors, soft warnings) for a fresh run vs the baseline."""
+    errors = []
+    warnings = []
+    for name in sorted(fresh):
+        if name not in baseline:
+            errors.append(
+                f"::error::service workload '{name}' has no baseline entry — "
+                f"run check_service_regression.py --update to record it in "
+                f"BENCH_service.json"
+            )
+    for name, base in sorted(baseline.items()):
+        row = fresh.get(name)
+        if row is None:
+            errors.append(
+                f"::error::service workload '{name}' is in the baseline but "
+                f"was not run (renamed or removed? update BENCH_service.json)"
+            )
+            continue
+        if row.get("errors", 0) > 0:
+            errors.append(
+                f"::error::service workload '{name}' reported "
+                f"{row['errors']} query error(s) — the load mix is all-valid, "
+                f"so any error is a service bug"
+            )
+        if base["qps"] > 0 and row["qps"] < base["qps"] * (1.0 - threshold):
+            warnings.append(
+                f"::warning::service workload '{name}' QPS regressed "
+                f"{(1.0 - row['qps'] / base['qps']) * 100:.0f}% "
+                f"({base['qps']:,.0f} -> {row['qps']:,.0f} q/s, "
+                f"threshold {threshold * 100:.0f}%)"
+            )
+        if base["p99_us"] > 0 and row["p99_us"] > base["p99_us"] * (1.0 + threshold):
+            warnings.append(
+                f"::warning::service workload '{name}' p99 latency regressed "
+                f"{(row['p99_us'] / base['p99_us'] - 1.0) * 100:.0f}% "
+                f"({base['p99_us']:.1f} us -> {row['p99_us']:.1f} us, "
+                f"threshold {threshold * 100:.0f}%)"
+            )
+    return errors, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench_json", type=Path,
+                        help="fresh repro.bench.loadgen output file")
+    parser.add_argument("--threshold", type=float, default=0.4,
+                        help="allowed fractional QPS/p99 drift (default 0.4)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    args = parser.parse_args(argv)
+
+    if args.update:
+        write_baseline(json.loads(args.bench_json.read_text()))
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    fresh = load_workloads(args.bench_json)
+    errors, warnings = compare(fresh, load_workloads(BASELINE_PATH),
+                               args.threshold)
+    for line in errors + warnings:
+        print(line)
+    print(f"service workloads checked: {len(fresh)} run, "
+          f"{len(errors)} error(s), {len(warnings)} warning(s), "
+          f"threshold {args.threshold * 100:.0f}%")
+    # Coverage drift and query errors block; wall-clock noise only annotates.
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -208,6 +208,23 @@ def build_parser() -> argparse.ArgumentParser:
     pserve.add_argument("--reload-interval", type=float, default=1.0,
                         dest="reload_interval", metavar="SECONDS",
                         help="min seconds between store-mtime checks")
+    pserve.add_argument("--metrics-port", type=int, default=None,
+                        dest="metrics_port", metavar="PORT",
+                        help="also serve Prometheus text metrics over plain "
+                        "HTTP on this port (GET /metrics; 0 picks an "
+                        "ephemeral port)")
+    pserve.add_argument("--json-logs", action="store_true", dest="json_logs",
+                        help="emit structured one-line-JSON logs on stderr "
+                        "(connections, errors, slow requests, a periodic "
+                        "metrics window)")
+    pserve.add_argument("--slow-log-ms", type=float, default=100.0,
+                        dest="slow_log_ms", metavar="MS",
+                        help="with --json-logs, log successful requests "
+                        "slower than this as request.slow")
+    pserve.add_argument("--flight-capacity", type=int, default=32,
+                        dest="flight_capacity", metavar="K",
+                        help="slots per flight-recorder buffer (K slowest "
+                        "+ last K erroring requests; op:debug / SIGUSR1)")
 
     pquery = sub.add_parser(
         "query",
@@ -456,10 +473,14 @@ def _executor_summary(octx) -> str | None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsHTTPServer, WindowedSnapshotter
+    from repro.obs.runid import make_run_id
     from repro.service import (
+        JsonLogger,
         SelectionServer,
         SelectionService,
         install_sighup_reload,
+        install_sigusr1_dump,
     )
 
     service = SelectionService(
@@ -467,20 +488,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_size=args.cache_size,
         fallback=not args.no_fallback,
         reload_interval=args.reload_interval,
+        flight_capacity=args.flight_capacity,
     )
     install_sighup_reload(service)
+    install_sigusr1_dump(service)
+    logger = None
+    snapshotter = None
+    if args.json_logs:
+        import os
+
+        logger = JsonLogger(run_id=make_run_id({
+            "command": "serve", "store": str(args.store),
+            "pid": os.getpid(), "started": time.time()}))
+        snapshotter = WindowedSnapshotter(
+            service.metrics, interval=30.0,
+            on_window=lambda w: logger.log("metrics.window", **w))
+    metrics_http = None
     with service:
-        server = SelectionServer(service, host=args.host, port=args.port)
+        server = SelectionServer(
+            service, host=args.host, port=args.port, logger=logger,
+            slow_log_seconds=args.slow_log_ms / 1e3)
         host, port = server.address
         strategy = service.strategy or "<fallback only>"
+        scrape = ""
+        if args.metrics_port is not None:
+            metrics_http = MetricsHTTPServer(
+                service.metrics, host=args.host,
+                port=args.metrics_port).start()
+            mhost, mport = metrics_http.address
+            scrape = f", metrics on http://{mhost}:{mport}/metrics"
         print(f"serving {args.store} (strategy {strategy}) "
-              f"on {host}:{port}", flush=True)
+              f"on {host}:{port}{scrape}", flush=True)
+        if logger is not None:
+            logger.log("serve.start", store=str(args.store),
+                       strategy=strategy, host=host, port=port,
+                       metrics_port=(metrics_http.address[1]
+                                     if metrics_http else None))
+        if snapshotter is not None:
+            snapshotter.start()
         try:
             server.serve_forever()
         except KeyboardInterrupt:
             pass
         finally:
+            if snapshotter is not None:
+                snapshotter.stop()
+            if metrics_http is not None:
+                metrics_http.stop()
             server.stop()
+            if logger is not None:
+                logger.log("serve.stop", uptime_seconds=round(
+                    service.uptime_seconds(), 3))
     return 0
 
 

@@ -11,6 +11,10 @@ Every layer of the stack plugs into one :class:`ObsContext` per run:
 * **exporters** — Chrome/Perfetto ``trace_event`` JSON, a JSONL event
   stream, and a metrics snapshot, all stamped with a deterministic run ID
   (:mod:`repro.obs.export`, :mod:`repro.obs.runid`);
+* **live exposition** — Prometheus text rendering of any registry
+  (labels included), interval windows with rolling rates, and a plain
+  HTTP scrape endpoint for long-lived services
+  (:mod:`repro.obs.expose`);
 * **cross-process capture** — per-cell telemetry payloads that pool
   workers and the result cache ship back to the parent session, merged
   deterministically so ``--jobs N`` traces equal serial ones
@@ -58,6 +62,15 @@ from repro.obs.collect import (
     capture_telemetry,
     merge_telemetry,
 )
+from repro.obs.expose import (
+    MetricsHTTPServer,
+    MetricsWindow,
+    PROMETHEUS_CONTENT_TYPE,
+    WindowedSnapshotter,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
 from repro.obs.export import (
     dropped_span_warning,
     export_jsonl,
@@ -78,6 +91,8 @@ from repro.obs.metrics import (
     NULL_GAUGE,
     NULL_HISTOGRAM,
     NULL_METRICS,
+    metric_key,
+    parse_metric_key,
 )
 from repro.obs.runid import RUN_ID_LEN, make_run_id
 from repro.obs.spans import (
@@ -109,6 +124,16 @@ __all__ = [
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_METRICS",
+    "metric_key",
+    "parse_metric_key",
+    # exposition
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "parse_prometheus",
+    "sanitize_metric_name",
+    "MetricsWindow",
+    "WindowedSnapshotter",
+    "MetricsHTTPServer",
     # spans
     "Span",
     "SpanRecorder",

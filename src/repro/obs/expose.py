@@ -1,0 +1,360 @@
+"""Live metric exposition: Prometheus text format, windows, and scraping.
+
+The run-scoped exporters in :mod:`repro.obs.export` write one snapshot at
+the *end* of a run; this module is the continuous counterpart for
+long-lived processes (the selection server, the load generator):
+
+* :func:`render_prometheus` renders any
+  :class:`~repro.obs.metrics.MetricsRegistry` (or a plain snapshot dict)
+  in Prometheus text exposition format — counters, gauges, and the fixed
+  log2-bucket histograms as cumulative ``_bucket{le="..."}`` series, with
+  instrument labels carried through and escaped.
+* :func:`parse_prometheus` parses that format back into families and
+  samples, so tests (and clients) can validate the exposition round-trip.
+* :class:`MetricsWindow` turns two successive snapshots of the same
+  registry into interval deltas and per-second rates — the "what happened
+  in the last N seconds" view that raw monotonic counters cannot answer.
+* :class:`WindowedSnapshotter` runs a window on a daemon-thread interval
+  and hands each payload to a callback (the JSON-log heartbeat under
+  ``repro-mpi serve --json-logs``).
+* :class:`MetricsHTTPServer` serves ``GET /metrics`` (and ``/healthz``)
+  over plain HTTP from a registry provider — the ``--metrics-port`` scrape
+  endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    parse_metric_key,
+)
+
+#: Content type Prometheus scrapers expect from a text-format endpoint.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r'\A(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)\Z'
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A dotted repro metric name as a legal Prometheus metric name."""
+    name = _INVALID_NAME_CHARS.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _format_value(value: float) -> str:
+    """A sample value formatted the way Prometheus expects."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _label_body(labels: dict[str, str], extra: tuple[str, str] | None = None) -> str:
+    items = sorted(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    return "{" + ",".join(f'{k}="{escape_label_value(str(v))}"'
+                          for k, v in items) + "}"
+
+
+def render_prometheus(source: MetricsRegistry | dict, *,
+                      prefix: str = "repro_") -> str:
+    """Render a registry (or its :meth:`snapshot` dict) as Prometheus text.
+
+    Counters and gauges become single samples; histograms become the
+    canonical cumulative form — ``<name>_bucket{le="2^(e+1)"}`` per
+    occupied log2 bucket plus ``le="+Inf"``, ``<name>_sum`` and
+    ``<name>_count``.  Observations ``<= 0`` (the ``zeros`` bookkeeping)
+    are below every finite bound, so they count into every cumulative
+    bucket.  Instruments that share a base name but differ in labels fold
+    into one ``# TYPE``-announced family.
+    """
+    snapshot = source.snapshot() if not isinstance(source, dict) else source
+    families: dict[str, tuple[str, list[str]]] = {}
+    for key in sorted(snapshot):
+        snap = snapshot[key]
+        base, labels = parse_metric_key(key)
+        name = prefix + sanitize_metric_name(base)
+        kind = snap["kind"]
+        family = families.setdefault(name, (kind, []))
+        if family[0] != kind:  # pragma: no cover - registry forbids it
+            raise ValueError(f"metric family {name!r} mixes kinds "
+                             f"{family[0]!r} and {kind!r}")
+        lines = family[1]
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name}{_label_body(labels)} "
+                         f"{_format_value(snap['value'])}")
+            continue
+        # Histogram: cumulative buckets over the fixed log2 bounds.
+        cum = snap["zeros"]
+        for bucket_key in sorted(snap["buckets"],
+                                 key=lambda k: int(k[2:])):
+            exp = int(bucket_key[2:])  # "2^-20" -> -20
+            cum += snap["buckets"][bucket_key]
+            le = _format_value(2.0 ** (exp + 1))
+            lines.append(f"{name}_bucket{_label_body(labels, ('le', le))} {cum}")
+        lines.append(f"{name}_bucket{_label_body(labels, ('le', '+Inf'))} "
+                     f"{snap['count']}")
+        lines.append(f"{name}_sum{_label_body(labels)} "
+                     f"{_format_value(snap['sum'])}")
+        lines.append(f"{name}_count{_label_body(labels)} {snap['count']}")
+    out: list[str] = []
+    for name, (kind, lines) in families.items():
+        out.append(f"# TYPE {name} {'histogram' if kind == 'histogram' else kind}")
+        out.extend(lines)
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
+    """Parse Prometheus text exposition back into families.
+
+    Returns ``{family_name: {"type": str, "samples": [(sample_name,
+    labels_dict, value), ...]}}``.  Samples attach to the family whose
+    ``# TYPE`` line precedes them (histogram ``_bucket``/``_sum``/
+    ``_count`` suffixes attach to their base family).  Malformed lines
+    raise ``ValueError`` — this is the round-trip validator for
+    :func:`render_prometheus`.
+    """
+    families: dict[str, dict[str, Any]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                families[parts[2]] = {"type": parts[3], "samples": []}
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = m.group("name")
+        # Reuse the metric-key parser for the label body (same grammar).
+        labels_body = m.group("labels")
+        if labels_body:
+            _base, labels = parse_metric_key(f"x{{{labels_body}}}")
+        else:
+            labels = {}
+        value_text = m.group("value")
+        value = {"+Inf": float("inf"), "-Inf": float("-inf")}.get(
+            value_text, None)
+        if value is None:
+            value = float(value_text)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stripped = name[: -len(suffix)] if name.endswith(suffix) else None
+            if stripped is not None and stripped in families \
+                    and families[stripped]["type"] == "histogram":
+                family = stripped
+                break
+        if family not in families:
+            raise ValueError(f"line {lineno}: sample {name!r} has no "
+                             f"preceding # TYPE line")
+        families[family]["samples"].append((name, labels, value))
+    return families
+
+
+class MetricsWindow:
+    """Interval deltas and rates between successive registry snapshots.
+
+    Each :meth:`tick` diffs the current snapshot against the previous one:
+    counters become ``{"delta", "rate"}`` (per-second over the interval),
+    gauges pass through their current value, histograms report the
+    interval's ``count``/``sum`` deltas plus interval mean and cumulative
+    p50/p99.  The first tick establishes the baseline and reports an empty
+    window.
+    """
+
+    def __init__(self, source: MetricsRegistry | Callable[[], dict]) -> None:
+        self._snapshot = (source.snapshot if isinstance(source, MetricsRegistry)
+                          else source)
+        self._last: dict | None = None
+        self._last_at: float = 0.0
+
+    def tick(self, now: float | None = None) -> dict:
+        """Advance the window; returns the interval payload."""
+        if now is None:
+            now = time.monotonic()
+        snapshot = self._snapshot()
+        previous, self._last = self._last, snapshot
+        elapsed = now - self._last_at if previous is not None else 0.0
+        self._last_at = now
+        window: dict[str, Any] = {"interval_seconds": elapsed,
+                                  "counters": {}, "gauges": {},
+                                  "histograms": {}}
+        if previous is None:
+            return window
+        for key, snap in snapshot.items():
+            kind = snap["kind"]
+            before = previous.get(key)
+            if kind == "counter":
+                delta = snap["value"] - (before["value"] if before else 0)
+                window["counters"][key] = {
+                    "delta": delta,
+                    "rate": delta / elapsed if elapsed > 0 else 0.0,
+                }
+            elif kind == "gauge":
+                window["gauges"][key] = {"value": snap["value"],
+                                         "peak": snap["peak"]}
+            else:
+                count = snap["count"] - (before["count"] if before else 0)
+                total = snap["sum"] - (before["sum"] if before else 0.0)
+                hist = Histogram(key)
+                hist.merge_snapshot(snap)
+                window["histograms"][key] = {
+                    "count": count,
+                    "sum": total,
+                    "mean": total / count if count else 0.0,
+                    "p50": hist.quantile(0.5),
+                    "p99": hist.quantile(0.99),
+                }
+        return window
+
+
+class WindowedSnapshotter:
+    """Run a :class:`MetricsWindow` periodically on a daemon thread.
+
+    ``on_window`` receives each non-empty interval payload.  Exceptions
+    from the callback stop the loop (a broken pipe on a closed log stream
+    must not spin forever); :meth:`stop` ends it cleanly.
+    """
+
+    def __init__(self, source: MetricsRegistry | Callable[[], dict],
+                 interval: float,
+                 on_window: Callable[[dict], None]) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self._window = MetricsWindow(source)
+        self.interval = float(interval)
+        self._on_window = on_window
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "WindowedSnapshotter":
+        self._window.tick()  # establish the baseline before the first sleep
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-metrics-window",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self._on_window(self._window.tick())
+            except Exception:  # noqa: BLE001 - see class docstring
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "WindowedSnapshotter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class _ScrapeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] == "/metrics":
+            body = render_prometheus(self.server.registry_provider()).encode()
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        elif self.path == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = json.dumps({"error": "not found",
+                               "paths": ["/metrics", "/healthz"]}).encode()
+            self.send_response(404)
+            self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args) -> None:  # scrapes must not spam stderr
+        pass
+
+
+class _ScrapeServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    registry_provider: Callable[[], MetricsRegistry]
+
+
+class MetricsHTTPServer:
+    """Plain-HTTP scrape endpoint for any metrics registry.
+
+    ``registry`` may be a :class:`MetricsRegistry` or a zero-argument
+    callable returning one (so the provider can swap registries under a
+    reload).  ``port=0`` binds an ephemeral port — read it back from
+    :attr:`address`.
+    """
+
+    def __init__(self, registry: MetricsRegistry | Callable[[], MetricsRegistry],
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        provider = registry if callable(registry) else (lambda: registry)
+        self._http = _ScrapeServer((host, port), _ScrapeHandler)
+        self._http.registry_provider = provider
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._http.server_address[:2]
+        return host, port
+
+    def start(self) -> "MetricsHTTPServer":
+        self._thread = threading.Thread(target=self._http.serve_forever,
+                                        name="repro-metrics-http",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "sanitize_metric_name",
+    "render_prometheus",
+    "parse_prometheus",
+    "MetricsWindow",
+    "WindowedSnapshotter",
+    "MetricsHTTPServer",
+]

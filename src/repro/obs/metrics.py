@@ -20,17 +20,90 @@ bucket whose key is ``floor(log2(v))``, clamped to ``[MIN_EXP, MAX_EXP]``
 histograms from different runs and different processes merge by plain
 bucket-wise addition, and the export format is self-describing
 (``"2^-20"`` style keys).  Zero and negative observations are counted
-separately (they have no log2 bucket).
+separately (they have no log2 bucket).  :meth:`Histogram.quantile`
+estimates any quantile from the buckets with at most one bucket width of
+error, so p50/p99 are first-class without retaining samples.
+
+Labels
+------
+Every registry accessor takes an optional ``labels`` dict: each distinct
+``(name, labels)`` pair is its own instrument, keyed in snapshots by the
+Prometheus-style rendering ``name{key="value",...}`` (label keys sorted,
+values escaped — see :func:`metric_key` / :func:`parse_metric_key`).
+Because the label set is part of the snapshot key, labeled instruments
+merge across processes exactly like unlabeled ones, and
+:mod:`repro.obs.expose` can render any registry in Prometheus text
+exposition format without extra bookkeeping.
 """
 
 from __future__ import annotations
 
 import math
+import re
 from typing import Iterator
 
 #: Clamp range for histogram bucket exponents: 2**-30 ~ 1 ns, 2**23 ~ 97 days.
 MIN_EXP = -30
 MAX_EXP = 23
+
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+#: One escaped label value: anything but raw ``"`` / ``\`` / newline.
+_KEY_RE = re.compile(
+    r'\A(?P<name>[^{]+)\{(?P<labels>[a-zA-Z_][a-zA-Z0-9_]*='
+    r'"(?:[^"\\\n]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*")*)\}\Z'
+)
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\\n]|\\.)*)"')
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format rules."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value`."""
+    out = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+    return "".join(out)
+
+
+def metric_key(name: str, labels: dict | None = None) -> str:
+    """The registry/snapshot key for ``(name, labels)``.
+
+    Unlabeled metrics keep their bare name; labeled ones render as
+    ``name{key="value",...}`` with keys sorted so the key is canonical —
+    the same label set always produces the same instrument.
+    """
+    if not labels:
+        return name
+    for key in labels:
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(f"invalid label name {key!r} on metric {name!r}")
+    body = ",".join(f'{k}="{escape_label_value(str(labels[k]))}"'
+                    for k in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a snapshot key back into ``(name, labels)``.
+
+    A bare name parses to ``(name, {})``; malformed label syntax raises
+    ``ValueError`` so exporters fail loudly instead of mislabeling.
+    """
+    if "{" not in key:
+        return key, {}
+    m = _KEY_RE.match(key)
+    if m is None:
+        raise ValueError(f"malformed metric key {key!r}")
+    labels = {lm.group("key"): unescape_label_value(lm.group("value"))
+              for lm in _LABEL_RE.finditer(m.group("labels"))}
+    return m.group("name"), labels
 
 
 def bucket_exp(value: float) -> int:
@@ -141,6 +214,49 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile from the fixed log2 buckets.
+
+        The target rank is located in the exact per-bucket counts, then
+        linearly interpolated inside its bucket ``[2^e, 2^(e+1))`` and
+        clamped to the observed ``[min, max]`` — so the estimate is off by
+        at most one bucket width (the true order statistic lives in the
+        same bucket).  Ranks that fall among the ``zeros`` (observations
+        <= 0) return ``0.0``.  ``q=0`` / ``q=1`` return the tracked exact
+        ``min`` / ``max``.  Returns ``None`` for an empty histogram;
+        raises ``ValueError`` for ``q`` outside ``[0, 1]``.  Values beyond
+        the clamp range land in the edge buckets, where interior ranks may
+        exceed the one-bucket bound (the min/max clamp still bounds the
+        estimate).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return None
+        # The extremes are tracked exactly — no bucket math needed.
+        if q == 0.0:
+            return float(self.min)
+        if q == 1.0:
+            return float(self.max)
+        # 1-indexed fractional rank, numpy-style linear interpolation.
+        target = q * (self.count - 1) + 1.0
+        if target <= self.zeros:
+            return 0.0
+        cum = float(self.zeros)
+        estimate = float(self.max)
+        for e in sorted(self.buckets):
+            n = self.buckets[e]
+            if target <= cum + n:
+                lo, hi = 2.0 ** e, 2.0 ** (e + 1)
+                estimate = lo + (target - cum) / n * (hi - lo)
+                break
+            cum += n
+        if estimate > self.max:
+            estimate = float(self.max)
+        if self.min > 0 and estimate < self.min:
+            estimate = float(self.min)
+        return estimate
+
     def snapshot(self) -> dict:
         return {
             "kind": self.kind,
@@ -180,7 +296,9 @@ class MetricsRegistry:
 
     ``counter``/``gauge``/``histogram`` create on first use and return the
     existing instrument afterwards; asking for an existing name with a
-    different kind raises ``ValueError`` (it is always a bug).
+    different kind raises ``ValueError`` (it is always a bug).  An optional
+    ``labels`` dict makes each distinct label set its own instrument,
+    keyed as ``name{key="value",...}`` (see :func:`metric_key`).
     """
 
     __slots__ = ("_metrics",)
@@ -188,7 +306,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
-    def _get(self, cls, name: str):
+    def _get(self, cls, name: str, labels: dict | None):
+        if labels:
+            name = metric_key(name, labels)
         m = self._metrics.get(name)
         if m is None:
             m = cls(name)
@@ -200,17 +320,20 @@ class MetricsRegistry:
             )
         return m
 
-    def counter(self, name: str) -> Counter:
-        return self._get(Counter, name)
+    def counter(self, name: str, labels: dict | None = None) -> Counter:
+        return self._get(Counter, name, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(Gauge, name)
+    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+        return self._get(Gauge, name, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(Histogram, name)
+    def histogram(self, name: str, labels: dict | None = None) -> Histogram:
+        return self._get(Histogram, name, labels)
 
-    def get(self, name: str) -> Counter | Gauge | Histogram | None:
-        """The instrument registered under ``name``, or None."""
+    def get(self, name: str,
+            labels: dict | None = None) -> Counter | Gauge | Histogram | None:
+        """The instrument registered under ``(name, labels)``, or None."""
+        if labels:
+            name = metric_key(name, labels)
         return self._metrics.get(name)
 
     def __len__(self) -> int:
@@ -279,6 +402,9 @@ class _NullHistogram:
     def observe(self, value: float) -> None:
         pass
 
+    def quantile(self, q: float) -> None:
+        return None
+
     def snapshot(self) -> dict:  # pragma: no cover - never exported
         return {}
 
@@ -294,16 +420,16 @@ class NullMetricsRegistry:
 
     __slots__ = ()
 
-    def counter(self, name: str) -> _NullCounter:
+    def counter(self, name: str, labels: dict | None = None) -> _NullCounter:
         return NULL_COUNTER
 
-    def gauge(self, name: str) -> _NullGauge:
+    def gauge(self, name: str, labels: dict | None = None) -> _NullGauge:
         return NULL_GAUGE
 
-    def histogram(self, name: str) -> _NullHistogram:
+    def histogram(self, name: str, labels: dict | None = None) -> _NullHistogram:
         return NULL_HISTOGRAM
 
-    def get(self, name: str) -> None:
+    def get(self, name: str, labels: dict | None = None) -> None:
         return None
 
     def __len__(self) -> int:
@@ -323,6 +449,10 @@ __all__ = [
     "MIN_EXP",
     "MAX_EXP",
     "bucket_exp",
+    "metric_key",
+    "parse_metric_key",
+    "escape_label_value",
+    "unescape_label_value",
     "Counter",
     "Gauge",
     "Histogram",

@@ -9,10 +9,15 @@ The serving half of the persistent selection pipeline (the durable half is
   when the store has no covering rule, and hot-reloads when the store
   changes (or on SIGHUP under ``repro-mpi serve``).
 * :class:`SelectionServer` — a newline-delimited-JSON TCP front-end
-  (thread per connection, structured error replies).
+  (thread per connection, structured error replies, optional
+  :class:`JsonLogger` structured logs).
 * :class:`SelectionClient` / :class:`InProcessClient` — the matching
   clients; the in-process one speaks the identical protocol without a
   socket.
+* Live telemetry — every service owns an always-on metrics registry
+  (``op:metrics``, Prometheus scraping via ``repro-mpi serve
+  --metrics-port``) and a bounded :class:`FlightRecorder` of the slowest
+  and erroring requests (``op:debug``, SIGUSR1).
 
 CLI: ``repro-mpi serve`` and ``repro-mpi query``.  See
 ``docs/selection-service.md`` for the store schema, the wire protocol, and
@@ -27,11 +32,16 @@ from repro.service.core import (
     SelectionService,
     ServiceStats,
 )
+from repro.service.flight import FlightRecorder
 from repro.service.server import (
     PROTOCOL_VERSION,
+    JsonLogger,
     SelectionServer,
+    debug_reply,
     handle_request,
     install_sighup_reload,
+    install_sigusr1_dump,
+    metrics_reply,
 )
 
 __all__ = [
@@ -40,8 +50,13 @@ __all__ = [
     "SelectionServer",
     "SelectionClient",
     "InProcessClient",
+    "FlightRecorder",
+    "JsonLogger",
     "handle_request",
+    "metrics_reply",
+    "debug_reply",
     "install_sighup_reload",
+    "install_sigusr1_dump",
     "PROTOCOL_VERSION",
     "SOURCE_PATTERN",
     "SOURCE_STORE",

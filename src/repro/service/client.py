@@ -64,6 +64,14 @@ class _ClientBase:
     def stats(self) -> dict:
         return _check(self.request({"op": "stats"}), True)
 
+    def metrics(self) -> dict:
+        """Live metrics snapshot with per-histogram p50/p90/p99."""
+        return _check(self.request({"op": "metrics"}), True)
+
+    def debug(self) -> dict:
+        """Flight-recorder dump plus stats and effective configuration."""
+        return _check(self.request({"op": "debug"}), True)
+
     def reload(self) -> dict:
         return _check(self.request({"op": "reload"}), True)
 

@@ -18,11 +18,21 @@ a persistent :class:`~repro.store.TuningStore`:
   disk, the next query reloads the tables and drops the cache;
   :meth:`reload` does the same on demand (the server wires it to SIGHUP).
 
-Metrics flow through :mod:`repro.obs` when a session is open —
-``service.query_total``, ``service.cache_hit_total``,
-``service.fallback_total``, ``service.reload_total``, and the
-``service.query_seconds`` latency histogram — and the same numbers are
-always available process-locally via :attr:`SelectionService.stats`.
+Telemetry is always on: every service owns a live
+:class:`~repro.obs.metrics.MetricsRegistry` (:attr:`SelectionService.metrics`)
+that exists independently of any run-scoped :func:`repro.obs.session` —
+``service.query_total{collective,source}`` (labeled per query coordinate
+and resolve layer), ``service.cache_hit_total``,
+``service.fallback_total``, ``service.reload_total``,
+``service.error_total``, the ``service.query_seconds`` per-query latency
+histogram (p50/p99 via :meth:`~repro.obs.metrics.Histogram.quantile`),
+the ``service.batch_seconds`` whole-batch histogram, and the
+``service.cache_entries`` gauge.  The registry feeds ``op:metrics`` on
+the wire protocol and the ``--metrics-port`` Prometheus scrape endpoint;
+the coarse process-local tallies remain on
+:attr:`SelectionService.stats`.  A bounded
+:class:`~repro.service.flight.FlightRecorder` keeps the K slowest and
+erroring requests for ``op:debug`` and SIGUSR1 dumps.
 """
 
 from __future__ import annotations
@@ -32,10 +42,11 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from threading import Lock
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.errors import ConfigurationError
-from repro.obs.context import current as _obs_current
+from repro.obs.metrics import MetricsRegistry
+from repro.service.flight import DEFAULT_CAPACITY, FlightRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.selection.table import SelectionTable
@@ -49,7 +60,8 @@ SOURCE_FALLBACK = "fallback"       # Open MPI fixed decision logic
 
 @dataclass
 class ServiceStats:
-    """Process-local counters mirrored into :mod:`repro.obs` when enabled."""
+    """Coarse process-local tallies (the fine-grained, labeled view lives
+    on :attr:`SelectionService.metrics`)."""
 
     queries: int = 0
     cache_hits: int = 0
@@ -80,6 +92,9 @@ class _Tables:
     table: "SelectionTable | None" = None
     pattern_tables: dict[str, "SelectionTable"] = field(default_factory=dict)
     mtime: float = 0.0
+    #: Monotonically increasing load counter (1 = the warm-start load);
+    #: surfaced in ``op:stats`` so clients can detect a reload happened.
+    generation: int = 0
 
 
 class SelectionService:
@@ -93,8 +108,14 @@ class SelectionService:
     0 checks on every query).  ``exclude_suspect`` (default on) refuses to
     serve rules whose every backing cell is lint-flagged suspect (see
     :mod:`repro.lint`); such queries get the fixed-decision fallback,
-    source-tagged as usual.
+    source-tagged as usual.  ``flight_capacity`` bounds the slow-query
+    flight recorder (slots per buffer, see
+    :class:`~repro.service.flight.FlightRecorder`).
     """
+
+    #: Max distinct (collective, source) label pairs before new ones
+    #: collapse into "<other>" (see :meth:`_record_query`).
+    _LABEL_CAP = 64
 
     def __init__(self, store: "TuningStore | str | Path | None" = None, *,
                  table: "SelectionTable | None" = None,
@@ -102,7 +123,8 @@ class SelectionService:
                  fallback: bool = True,
                  watch_store: bool = True,
                  reload_interval: float = 1.0,
-                 exclude_suspect: bool = True) -> None:
+                 exclude_suspect: bool = True,
+                 flight_capacity: int = DEFAULT_CAPACITY) -> None:
         if store is None and table is None:
             raise ConfigurationError("service needs a store or a table")
         if cache_size < 1:
@@ -120,9 +142,26 @@ class SelectionService:
         self.watch_store = bool(watch_store) and self._store is not None
         self.reload_interval = float(reload_interval)
         self.stats = ServiceStats()
+        #: Service-scoped live registry — always on, independent of any
+        #: run-scoped obs session (see module docstring for the schema).
+        self.metrics = MetricsRegistry()
+        self.flight = FlightRecorder(flight_capacity)
+        self.started_wall = time.time()
+        self._started_monotonic = time.monotonic()
+        # Hot-path instruments, pre-resolved so a query costs dict probes
+        # and attribute bumps, never metric-key construction.
+        self._h_query = self.metrics.histogram("service.query_seconds")
+        self._h_batch = self.metrics.histogram("service.batch_seconds")
+        self._c_cache_hit = self.metrics.counter("service.cache_hit_total")
+        self._c_fallback = self.metrics.counter("service.fallback_total")
+        self._c_reload = self.metrics.counter("service.reload_total")
+        self._c_error = self.metrics.counter("service.error_total")
+        self._g_cache_entries = self.metrics.gauge("service.cache_entries")
+        self._query_counters: dict[tuple[str, str], Any] = {}
         self._lock = Lock()
         self._cache: OrderedDict[tuple, dict] = OrderedDict()
         self._last_check = time.monotonic()
+        self._generation = 0
         self._tables = self._load()
 
     # -- lifecycle ------------------------------------------------------- #
@@ -143,6 +182,20 @@ class SelectionService:
         table = self._tables.table
         return table.strategy_name if table is not None else ""
 
+    @property
+    def table_generation(self) -> int:
+        """Load counter of the active table generation (1 = warm start)."""
+        return self._tables.generation
+
+    @property
+    def store_path(self) -> str | None:
+        """Filesystem path of the backing store (None when table-only)."""
+        return str(self._store.path) if self._store is not None else None
+
+    def uptime_seconds(self) -> float:
+        """Seconds since this service instance was constructed."""
+        return time.monotonic() - self._started_monotonic
+
     def cache_len(self) -> int:
         with self._lock:
             return len(self._cache)
@@ -153,8 +206,10 @@ class SelectionService:
         """Build one fresh generation of lookup tables."""
         from repro.errors import StoreError
 
+        self._generation += 1
         if self._store is None:
-            return _Tables(table=self._explicit_table)
+            return _Tables(table=self._explicit_table,
+                           generation=self._generation)
         try:
             table = self._store.load_table(
                 exclude_suspect=self.exclude_suspect)
@@ -166,7 +221,8 @@ class SelectionService:
         return _Tables(table=table,
                        pattern_tables=self._store.load_pattern_tables(
                            exclude_suspect=self.exclude_suspect),
-                       mtime=self._store.mtime())
+                       mtime=self._store.mtime(),
+                       generation=self._generation)
 
     def reload(self) -> None:
         """Reload tables from the store and drop the reply cache."""
@@ -175,7 +231,7 @@ class SelectionService:
             self._tables = tables
             self._cache.clear()
             self.stats.reloads += 1
-        _obs_current().metrics.counter("service.reload_total").inc()
+        self._c_reload.inc()
 
     def _maybe_reload(self) -> None:
         if not self.watch_store:
@@ -200,8 +256,9 @@ class SelectionService:
         no layer — store, pattern table, or fallback — can answer.
         """
         started = time.perf_counter()
-        metrics = _obs_current().metrics
-        metrics.counter("service.query_total").inc()
+        source: str | None = None
+        cache_hit = False
+        error: BaseException | None = None
         try:
             key = self._validate(collective, comm_size, msg_bytes, pattern)
             self._maybe_reload()
@@ -211,20 +268,24 @@ class SelectionService:
                 if reply is not None:
                     self._cache.move_to_end(key)
                     self.stats.cache_hits += 1
-                    metrics.counter("service.cache_hit_total").inc()
-                    return dict(reply)
-                reply = self._resolve(*key)
-                self._cache[key] = reply
-                if len(self._cache) > self.cache_size:
-                    self._cache.popitem(last=False)
+                    cache_hit = True
+                else:
+                    reply = self._resolve(*key)
+                    self._cache[key] = reply
+                    if len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+                self._g_cache_entries.set(len(self._cache))
+                source = reply["source"]
                 return dict(reply)
-        except Exception:
+        except Exception as exc:
             self.stats.errors += 1
-            metrics.counter("service.error_total").inc()
+            error = exc
             raise
         finally:
-            metrics.histogram("service.query_seconds").observe(
-                time.perf_counter() - started)
+            self._record_query(
+                "query", time.perf_counter() - started, collective, source,
+                cache_hit, error,
+                (collective, comm_size, msg_bytes, pattern))
 
     def query_batch(self, queries: Sequence[dict]) -> list[dict]:
         """Resolve many queries with one reload check and one lock pass.
@@ -232,11 +293,13 @@ class SelectionService:
         Each entry is a dict of :meth:`query` keyword arguments.  The
         batch is all-or-nothing for *validation* errors (the wire layer
         degrades per-item instead — see
-        :func:`repro.service.server.handle_request`).
+        :func:`repro.service.server.handle_request`).  Latency accounting:
+        ``service.query_seconds`` receives one strictly per-query sample
+        per item (its resolve time under the lock), and the whole batch —
+        validation, reload check, lock acquisition — lands in
+        ``service.batch_seconds``.
         """
         started = time.perf_counter()
-        metrics = _obs_current().metrics
-        metrics.counter("service.query_total").inc(len(queries))
         keys = [self._validate(q.get("collective"), q.get("comm_size"),
                                q.get("msg_bytes"), q.get("pattern"))
                 for q in queries]
@@ -246,22 +309,64 @@ class SelectionService:
         with self._lock:
             self.stats.queries += len(keys)
             for key in keys:
+                item_started = time.perf_counter()
                 reply = self._cache.get(key)
                 if reply is not None:
                     self._cache.move_to_end(key)
                     hits += 1
+                    cache_hit = True
                 else:
                     reply = self._resolve(*key)
                     self._cache[key] = reply
                     if len(self._cache) > self.cache_size:
                         self._cache.popitem(last=False)
+                    cache_hit = False
                 replies.append(dict(reply))
+                self._record_query(
+                    "batch-item", time.perf_counter() - item_started,
+                    key[0], reply["source"], cache_hit, None, key)
+            self._g_cache_entries.set(len(self._cache))
             self.stats.cache_hits += hits
-        if hits:
-            metrics.counter("service.cache_hit_total").inc(hits)
-        metrics.histogram("service.query_seconds").observe(
-            time.perf_counter() - started)
+        self._h_batch.observe(time.perf_counter() - started)
         return replies
+
+    def _record_query(self, op: str, latency: float, collective,
+                      source: str | None, cache_hit: bool,
+                      error: BaseException | None, coords: tuple) -> None:
+        """Per-query telemetry: latency histogram, labeled counter, flight."""
+        self._h_query.observe(latency)
+        if cache_hit:
+            self._c_cache_hit.inc()
+        if error is not None:
+            self._c_error.inc()
+        # Cardinality guard: non-string collectives collapse into one
+        # "<invalid>" series instead of minting a label per garbage
+        # request, and once _LABEL_CAP distinct (collective, source) pairs
+        # exist, new pairs collapse into "<other>" — a client spraying
+        # unique collective names cannot grow the registry unboundedly.
+        label = (collective if isinstance(collective, str) else "<invalid>",
+                 source or "error")
+        counter = self._query_counters.get(label)
+        if counter is None:
+            if len(self._query_counters) >= self._LABEL_CAP:
+                label = ("<other>", label[1])
+                counter = self._query_counters.get(label)
+            if counter is None:
+                counter = self.metrics.counter(
+                    "service.query_total",
+                    {"collective": label[0], "source": label[1]})
+                self._query_counters[label] = counter
+        counter.inc()
+        flight = self.flight
+        if error is not None or latency > flight.fast_threshold:
+            flight.record(
+                op=op, latency=latency,
+                request={"collective": str(coords[0]),
+                         "comm_size": coords[1], "msg_bytes": coords[2],
+                         "pattern": coords[3]},
+                source=source, cache_hit=cache_hit,
+                error=type(error).__name__ if error is not None else None,
+                detail=str(error) if error is not None else None)
 
     # -- internals ------------------------------------------------------- #
 
@@ -319,7 +424,7 @@ class SelectionService:
 
             algorithm = fixed_decision(collective, comm_size, msg_bytes)
             self.stats.fallbacks += 1
-            _obs_current().metrics.counter("service.fallback_total").inc()
+            self._c_fallback.inc()
             return self._reply(collective, comm_size, msg_bytes, pattern,
                                algorithm, SOURCE_FALLBACK, "")
         raise ConfigurationError(

@@ -1,0 +1,137 @@
+"""A bounded flight recorder for the selection service's worst requests.
+
+Production debugging of a low-latency service needs the *outliers*, not
+the averages: histograms say p99 rose, the flight recorder says which
+requests paid it.  :class:`FlightRecorder` keeps two bounded buffers:
+
+* the **K slowest successful requests** (a min-heap keyed on latency — a
+  new request is recorded only if it is slower than the current K-th, so
+  steady-state cost on the hot path is one lock plus one float compare);
+* the **last K erroring requests** (a ring — errors are rare and recency
+  beats magnitude for them).
+
+Each entry carries the query coordinates, resolve ``source``, cache
+state, latency, and a monotonically increasing sequence number (the
+request ID the structured logs share).  :meth:`dump` renders both buffers
+JSON-ready for ``op:debug`` and the SIGUSR1 handler.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from threading import Lock
+
+#: Default number of slots per buffer (slowest + errors).
+DEFAULT_CAPACITY = 32
+
+
+class FlightRecorder:
+    """Bounded recorder of the slowest and erroring requests (thread-safe)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        #: Lock-free mirror of :meth:`threshold` for hot-path pre-checks:
+        #: 0.0 until the heap fills, then the current K-th latency.  Reads
+        #: are racy but safe — a stale value only costs one extra locked
+        #: :meth:`record` call that rejects the entry.
+        self.fast_threshold = 0.0
+        self._lock = Lock()
+        self._seq = 0
+        #: (latency, seq, entry) min-heap of the slowest successes.
+        self._slow: list[tuple[float, int, dict]] = []
+        self._errors: deque[dict] = deque(maxlen=self.capacity)
+        self._recorded = 0
+
+    def next_seq(self) -> int:
+        """Allocate the next request sequence number (shared with logs)."""
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    def record(self, *, seq: int | None = None, op: str = "query",
+               latency: float = 0.0,
+               request: dict | None = None,
+               source: str | None = None,
+               cache_hit: bool | None = None,
+               error: str | None = None,
+               detail: str | None = None) -> bool:
+        """Consider one finished request; returns True if it was kept.
+
+        Successful requests enter the slowest-K heap only when they beat
+        the current threshold; errors always enter the error ring.
+        """
+        with self._lock:
+            if seq is None:
+                self._seq += 1
+                seq = self._seq
+            keep_slow = error is None and (
+                len(self._slow) < self.capacity or latency > self._slow[0][0])
+            if not keep_slow and error is None:
+                return False
+            entry = {
+                "seq": seq,
+                "op": op,
+                "latency_seconds": latency,
+                "wall_time": time.time(),
+                "request": dict(request) if request else {},
+            }
+            if source is not None:
+                entry["source"] = source
+            if cache_hit is not None:
+                entry["cache_hit"] = cache_hit
+            self._recorded += 1
+            if error is not None:
+                entry["error"] = error
+                if detail is not None:
+                    entry["detail"] = detail
+                self._errors.append(entry)
+                return True
+            if len(self._slow) < self.capacity:
+                heapq.heappush(self._slow, (latency, seq, entry))
+            else:
+                heapq.heapreplace(self._slow, (latency, seq, entry))
+            if len(self._slow) == self.capacity:
+                self.fast_threshold = self._slow[0][0]
+            return True
+
+    def threshold(self) -> float:
+        """Latency a request must beat to enter the slowest-K heap."""
+        with self._lock:
+            if len(self._slow) < self.capacity:
+                return 0.0
+            return self._slow[0][0]
+
+    def occupancy(self) -> dict:
+        """Ring occupancy for ``op:stats``: slots used per buffer."""
+        with self._lock:
+            return {"capacity": self.capacity,
+                    "slow": len(self._slow),
+                    "errors": len(self._errors),
+                    "recorded": self._recorded,
+                    "seq": self._seq}
+
+    def dump(self) -> dict:
+        """Both buffers as one JSON-ready payload (slowest first)."""
+        with self._lock:
+            slowest = [entry for _lat, _seq, entry in
+                       sorted(self._slow, key=lambda t: (-t[0], t[1]))]
+            return {"capacity": self.capacity,
+                    "threshold_seconds": (self._slow[0][0]
+                                          if len(self._slow) == self.capacity
+                                          else 0.0),
+                    "slowest": [dict(e) for e in slowest],
+                    "errors": [dict(e) for e in self._errors],
+                    "recorded": self._recorded}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._slow.clear()
+            self._errors.clear()
+            self.fast_threshold = 0.0
+
+
+__all__ = ["FlightRecorder", "DEFAULT_CAPACITY"]

@@ -638,8 +638,10 @@ class FlowGate:
         runtime.messages_collapsed += plan.est_messages
         octx = _obs_current()
         if octx.enabled:
-            octx.metrics.counter("flow.batches").inc()
-            octx.metrics.counter("flow.messages_collapsed").inc(plan.est_messages)
+            labels = {"algorithm": plan.algorithm}
+            octx.metrics.counter("flow.batches", labels).inc()
+            octx.metrics.counter("flow.messages_collapsed",
+                                 labels).inc(plan.est_messages)
 
 
 class FlowRuntime:

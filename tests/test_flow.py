@@ -217,8 +217,13 @@ def test_flow_counters_reach_obs_metrics():
     with obs.session(meta={"test": "flow_counters"}) as octx:
         _run_flow(HETERO, prog, FlowConfig(mode="hybrid", declared_spread=0.0))
         snap = octx.metrics.snapshot()
-    assert snap["flow.batches"]["value"] == 1
-    assert snap["flow.messages_collapsed"]["value"] == 64 * 63
+    key = 'flow.batches{algorithm="basic_linear"}'
+    assert snap[key]["value"] == 1
+    assert snap['flow.messages_collapsed{algorithm="basic_linear"}'][
+        "value"] == 64 * 63
+    # The labeled key parses back to (name, labels) for exposition.
+    assert obs.parse_metric_key(key) == (
+        "flow.batches", {"algorithm": "basic_linear"})
 
 
 # --------------------------------------------------------------------- #

@@ -15,6 +15,8 @@ from repro.obs.metrics import (
     NULL_METRICS,
     MetricsRegistry,
     bucket_exp,
+    metric_key,
+    parse_metric_key,
 )
 from repro.obs.runid import RUN_ID_LEN, make_run_id
 from repro.obs.spans import WALL, SpanRecorder, rank_track
@@ -69,6 +71,69 @@ class TestMetricsRegistry:
 
     def test_get_missing_is_none(self):
         assert MetricsRegistry().get("nope") is None
+
+
+class TestLabeledMetrics:
+    def test_distinct_label_sets_are_distinct_instruments(self):
+        m = MetricsRegistry()
+        m.counter("q", {"coll": "alltoall"}).inc()
+        m.counter("q", {"coll": "bcast"}).inc(2)
+        m.counter("q").inc(10)
+        snap = m.snapshot()
+        assert snap['q{coll="alltoall"}']["value"] == 1
+        assert snap['q{coll="bcast"}']["value"] == 2
+        assert snap["q"]["value"] == 10
+
+    def test_label_order_is_canonical(self):
+        m = MetricsRegistry()
+        a = m.counter("q", {"b": "2", "a": "1"})
+        b = m.counter("q", {"a": "1", "b": "2"})
+        assert a is b
+        assert a.name == 'q{a="1",b="2"}'
+
+    def test_key_round_trip_with_escaping(self):
+        nasty = 'sl\\ash "quote"\nnewline'
+        key = metric_key("m", {"v": nasty})
+        assert parse_metric_key(key) == ("m", {"v": nasty})
+
+    def test_bare_name_parses_to_empty_labels(self):
+        assert parse_metric_key("plain.name") == ("plain.name", {})
+
+    def test_malformed_key_raises(self):
+        with pytest.raises(ValueError):
+            parse_metric_key("m{unterminated")
+
+    def test_invalid_label_name_raises(self):
+        with pytest.raises(ValueError):
+            metric_key("m", {"bad-name": "v"})
+
+    def test_kind_mismatch_with_labels_raises(self):
+        m = MetricsRegistry()
+        m.counter("x", {"l": "1"})
+        with pytest.raises(ValueError):
+            m.histogram("x", {"l": "1"})
+
+    def test_get_with_labels(self):
+        m = MetricsRegistry()
+        c = m.counter("x", {"l": "1"})
+        assert m.get("x", {"l": "1"}) is c
+        assert m.get("x") is None
+
+    def test_merge_snapshot_preserves_labeled_keys(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("q", {"coll": "alltoall"}).inc(2)
+        b.counter("q", {"coll": "alltoall"}).inc(3)
+        b.histogram("h", {"coll": "bcast"}).observe(0.5)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap['q{coll="alltoall"}']["value"] == 5
+        assert snap['h{coll="bcast"}']["count"] == 1
+
+    def test_null_registry_accepts_labels(self):
+        assert NULL_METRICS.counter("a", {"l": "1"}) is NULL_COUNTER
+        assert NULL_METRICS.histogram("a", {"l": "1"}) is NULL_HISTOGRAM
+        assert NULL_METRICS.get("a", {"l": "1"}) is None
+        assert NULL_HISTOGRAM.quantile(0.5) is None
 
 
 class TestNullMetrics:

@@ -1,0 +1,300 @@
+"""Tests for live exposition: quantiles, Prometheus text, windows, scraping.
+
+The quantile pins are the paper-reproduction contract for satellite
+telemetry: a fixed log2-bucket histogram must estimate p50/p99 within one
+bucket width of the exact order statistic, so the service can report tail
+latency without retaining samples.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs.expose import (
+    MetricsHTTPServer,
+    MetricsWindow,
+    PROMETHEUS_CONTENT_TYPE,
+    WindowedSnapshotter,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry, bucket_exp
+
+
+def exact_quantile(samples, q):
+    """Numpy-style linear-interpolated quantile of raw samples."""
+    xs = sorted(samples)
+    rank = q * (len(xs) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(xs) - 1)
+    return xs[lo] + (rank - lo) * (xs[hi] - xs[lo])
+
+
+def bucket_width_at(value):
+    """Width of the log2 bucket containing ``value``."""
+    e = bucket_exp(value)
+    return 2.0 ** (e + 1) - 2.0 ** e
+
+
+class TestHistogramQuantile:
+    """Pin the estimator against exact order statistics (satellite 3)."""
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_uniform_distribution_within_one_bucket(self, q):
+        samples = [i / 1000.0 for i in range(1, 1001)]  # 1ms .. 1s uniform
+        h = Histogram("h")
+        for s in samples:
+            h.observe(s)
+        estimate = h.quantile(q)
+        truth = exact_quantile(samples, q)
+        assert abs(estimate - truth) <= bucket_width_at(truth)
+
+    @pytest.mark.parametrize("q", [0.5, 0.99])
+    def test_heavy_tail_within_one_bucket(self, q):
+        # 95% fast queries at ~100us, 5% slow at ~50ms: the service's
+        # actual latency shape — p99 must land in the slow mode's bucket.
+        # (Both modes hold their quantile's whole interpolation span: a
+        # rank interpolated *across* the bimodal gap has no single bucket
+        # to live in, so the one-bucket-width bound only applies within a
+        # mode.)
+        samples = [100e-6 + i * 1e-9 for i in range(950)] \
+            + [50e-3 + i * 1e-6 for i in range(50)]
+        h = Histogram("h")
+        for s in samples:
+            h.observe(s)
+        estimate = h.quantile(q)
+        truth = exact_quantile(samples, q)
+        assert abs(estimate - truth) <= bucket_width_at(truth)
+
+    def test_single_observation_all_quantiles_exact(self):
+        h = Histogram("h")
+        h.observe(0.125)
+        assert h.quantile(0.0) == h.quantile(0.5) == h.quantile(1.0) == 0.125
+
+    def test_extremes_clamp_to_min_max(self):
+        h = Histogram("h")
+        for v in (0.3, 0.5, 0.7):
+            h.observe(v)
+        assert h.quantile(0.0) == pytest.approx(0.3)
+        assert h.quantile(1.0) == pytest.approx(0.7)
+
+    def test_zeros_rank_below_everything(self):
+        h = Histogram("h")
+        for _ in range(9):
+            h.observe(0.0)
+        h.observe(1.0)
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 1.0
+
+    def test_empty_returns_none(self):
+        assert Histogram("h").quantile(0.5) is None
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_merged_histograms_estimate_like_one(self):
+        # Fixed buckets: merging shards then estimating equals estimating
+        # the union (the property the cross-process telemetry relies on).
+        a, b, union = Histogram("a"), Histogram("b"), Histogram("u")
+        for i in range(1, 501):
+            a.observe(i / 100.0)
+            union.observe(i / 100.0)
+        for i in range(501, 1001):
+            b.observe(i / 100.0)
+            union.observe(i / 100.0)
+        a.merge_snapshot(b.snapshot())
+        for q in (0.5, 0.99):
+            assert a.quantile(q) == union.quantile(q)
+
+
+class TestSanitizeMetricName:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("service.query_seconds") == \
+            "service_query_seconds"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("2fast") == "_2fast"
+
+
+class TestPrometheusRoundTrip:
+    def _registry(self):
+        m = MetricsRegistry()
+        m.counter("service.query_total",
+                  {"collective": "alltoall", "source": "store"}).inc(7)
+        m.counter("service.query_total",
+                  {"collective": "bcast", "source": "fallback"}).inc(2)
+        m.gauge("service.cache_entries").set(42.0)
+        h = m.histogram("service.query_seconds")
+        for v in (0.0, 100e-6, 200e-6, 50e-3):
+            h.observe(v)
+        return m
+
+    def test_counter_samples_round_trip(self):
+        families = parse_prometheus(render_prometheus(self._registry()))
+        total = families["repro_service_query_total"]
+        assert total["type"] == "counter"
+        samples = {frozenset(l.items()): v for _n, l, v in total["samples"]}
+        assert samples[frozenset({("collective", "alltoall"),
+                                  ("source", "store")}.copy())] == 7
+        assert samples[frozenset({("collective", "bcast"),
+                                  ("source", "fallback")}.copy())] == 2
+
+    def test_gauge_round_trip(self):
+        families = parse_prometheus(render_prometheus(self._registry()))
+        gauge = families["repro_service_cache_entries"]
+        assert gauge["type"] == "gauge"
+        assert gauge["samples"] == [("repro_service_cache_entries", {}, 42.0)]
+
+    def test_histogram_cumulative_buckets(self):
+        families = parse_prometheus(render_prometheus(self._registry()))
+        hist = families["repro_service_query_seconds"]
+        assert hist["type"] == "histogram"
+        by_name: dict[str, list] = {}
+        for name, labels, value in hist["samples"]:
+            by_name.setdefault(name, []).append((labels, value))
+        buckets = by_name["repro_service_query_seconds_bucket"]
+        # Cumulative counts never decrease, and +Inf equals the count.
+        values = [v for _l, v in buckets]
+        assert values == sorted(values)
+        assert buckets[-1][0] == {"le": "+Inf"}
+        assert buckets[-1][1] == 4
+        assert by_name["repro_service_query_seconds_count"][0][1] == 4
+        assert by_name["repro_service_query_seconds_sum"][0][1] == \
+            pytest.approx(0.0 + 100e-6 + 200e-6 + 50e-3)
+        # Zeros (observations <= 0) count into every finite bucket.
+        assert buckets[0][1] >= 1
+
+    def test_label_escaping_round_trips(self):
+        m = MetricsRegistry()
+        nasty = 'a\\b "c"\nd'
+        m.counter("weird.total", {"v": nasty}).inc()
+        families = parse_prometheus(render_prometheus(m))
+        ((_name, labels, value),) = families["repro_weird_total"]["samples"]
+        assert labels == {"v": nasty}
+        assert value == 1
+
+    def test_malformed_text_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("# TYPE x counter\nx 1 2 3 garbage here\n")
+        with pytest.raises(ValueError):
+            parse_prometheus("orphan_sample 1\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
+
+    def test_snapshot_dict_input_equivalent(self):
+        m = self._registry()
+        assert render_prometheus(m) == render_prometheus(m.snapshot())
+
+
+class TestMetricsWindow:
+    def test_first_tick_is_empty_baseline(self):
+        m = MetricsRegistry()
+        m.counter("c").inc(5)
+        w = MetricsWindow(m)
+        assert w.tick(now=0.0)["counters"] == {}
+
+    def test_deltas_and_rates(self):
+        m = MetricsRegistry()
+        m.counter("c").inc(5)
+        w = MetricsWindow(m)
+        w.tick(now=0.0)
+        m.counter("c").inc(10)
+        window = w.tick(now=2.0)
+        assert window["interval_seconds"] == 2.0
+        assert window["counters"]["c"] == {"delta": 10, "rate": 5.0}
+
+    def test_histogram_interval_mean_and_quantiles(self):
+        m = MetricsRegistry()
+        h = m.histogram("h")
+        h.observe(1.0)
+        w = MetricsWindow(m)
+        w.tick(now=0.0)
+        h.observe(3.0)
+        window = w.tick(now=1.0)["histograms"]["h"]
+        assert window["count"] == 1
+        assert window["sum"] == pytest.approx(3.0)
+        assert window["mean"] == pytest.approx(3.0)
+        assert window["p50"] is not None and window["p99"] is not None
+
+    def test_new_metric_mid_window_counts_from_zero(self):
+        m = MetricsRegistry()
+        w = MetricsWindow(m)
+        w.tick(now=0.0)
+        m.counter("late").inc(3)
+        assert w.tick(now=1.0)["counters"]["late"]["delta"] == 3
+
+
+class TestWindowedSnapshotter:
+    def test_periodic_callback_and_stop(self):
+        m = MetricsRegistry()
+        got = []
+        fired = threading.Event()
+
+        def on_window(window):
+            got.append(window)
+            fired.set()
+
+        m.counter("c").inc()
+        with WindowedSnapshotter(m, interval=0.02, on_window=on_window):
+            m.counter("c").inc(4)
+            assert fired.wait(timeout=5.0)
+        n = len(got)
+        assert n >= 1
+        assert got[0]["counters"]["c"]["delta"] >= 1
+        # Stopped: no more callbacks arrive.
+        fired.clear()
+        assert not fired.wait(timeout=0.1)
+        assert len(got) == n
+
+    def test_bad_interval_raises(self):
+        with pytest.raises(ValueError):
+            WindowedSnapshotter(MetricsRegistry(), interval=0.0,
+                                on_window=lambda w: None)
+
+
+class TestMetricsHTTPServer:
+    def test_scrape_and_healthz(self):
+        m = MetricsRegistry()
+        m.counter("hits.total", {"kind": "test"}).inc(3)
+        with MetricsHTTPServer(m, port=0) as server:
+            host, port = server.address
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/metrics") as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+                families = parse_prometheus(resp.read().decode())
+            assert families["repro_hits_total"]["samples"] == [
+                ("repro_hits_total", {"kind": "test"}, 3)]
+            with urllib.request.urlopen(
+                    f"http://{host}:{port}/healthz") as resp:
+                assert resp.read() == b"ok\n"
+
+    def test_scrape_sees_live_updates(self):
+        m = MetricsRegistry()
+        c = m.counter("live.total")
+        with MetricsHTTPServer(m, port=0) as server:
+            host, port = server.address
+            url = f"http://{host}:{port}/metrics"
+            before = parse_prometheus(
+                urllib.request.urlopen(url).read().decode())
+            c.inc(5)
+            after = parse_prometheus(
+                urllib.request.urlopen(url).read().decode())
+        assert before["repro_live_total"]["samples"][0][2] == 0
+        assert after["repro_live_total"]["samples"][0][2] == 5
+
+    def test_unknown_path_404s(self):
+        with MetricsHTTPServer(MetricsRegistry(), port=0) as server:
+            host, port = server.address
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"http://{host}:{port}/nope")
+            assert err.value.code == 404
+            assert "paths" in json.loads(err.value.read().decode())

@@ -68,6 +68,41 @@ class TestTracedUntracedParity:
         assert octx.engine_stats is not None
         assert octx.engine_stats.runs == 1
 
+    def test_parity_with_labeled_flow_metrics(self):
+        # The flow engine's labeled counters (flow.batches{algorithm=...})
+        # must not perturb results either: labels only change how counts
+        # are keyed, never what the simulation computes.
+        from repro.collectives import run_collective
+        from repro.collectives.base import CollArgs
+        from repro.sim.flow import FlowConfig
+
+        platform = Platform(name="parity", nodes=16, cores_per_node=4)
+        args = CollArgs(count=8, msg_bytes=2048.0)
+
+        def prog(ctx):
+            data = np.arange(ctx.size * args.count,
+                             dtype=np.float64).reshape(ctx.size, -1)
+            out = yield from run_collective(
+                ctx, "alltoall", "basic_linear", args, data + ctx.rank
+            )
+            return out
+
+        flow = FlowConfig(mode="hybrid", declared_spread=0.0)
+        plain = run_processes(platform, prog, flow=flow)
+        with obs.session() as octx:
+            traced = run_processes(platform, prog, flow=flow)
+        assert plain.final_time == traced.final_time
+        assert plain.rank_times == traced.rank_times
+        assert plain.events_processed == traced.events_processed
+        for a, b in zip(plain.rank_results, traced.rank_results):
+            np.testing.assert_array_equal(a, b)
+        # The traced run recorded the labeled counter (vacuity guard) and
+        # the key round-trips through the exposition parser.
+        key = obs.metric_key("flow.batches", {"algorithm": "basic_linear"})
+        assert octx.metrics.get(key).value == 1
+        assert obs.parse_metric_key(key) == (
+            "flow.batches", {"algorithm": "basic_linear"})
+
 
 class TestDisabledModeIsInert:
     def test_no_session_leaves_null_context(self):

@@ -349,3 +349,288 @@ class TestHotReload:
         finally:
             signal.signal(signal.SIGHUP, previous)
             service.close()
+
+
+class TestServiceTelemetry:
+    """The always-on service registry: labels, latency, flight recording."""
+
+    def test_query_total_labeled_by_collective_and_source(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False) as service:
+            service.query("alltoall", 4, 1024)
+            service.query("alltoall", 4, 1024)        # cache hit, same labels
+            service.query("scatter", 4, 8)            # fallback
+            snap = service.metrics.snapshot()
+        key = 'service.query_total{collective="alltoall",source="store"}'
+        assert snap[key]["value"] == 2
+        fb = 'service.query_total{collective="scatter",source="fallback"}'
+        assert snap[fb]["value"] == 1
+        assert snap["service.cache_hit_total"]["value"] == 1
+        assert snap["service.fallback_total"]["value"] == 1
+
+    def test_error_queries_labeled_and_counted(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False) as service:
+            with pytest.raises(ConfigurationError):
+                service.query("alltoall", -1, 8)
+            with pytest.raises(ConfigurationError):
+                service.query(12345, 4, 8)            # non-str collective
+            snap = service.metrics.snapshot()
+        assert snap["service.error_total"]["value"] == 2
+        # A valid-shaped collective keeps its label on the error path; a
+        # garbage one collapses into "<invalid>" (cardinality guard).
+        assert snap['service.query_total'
+                    '{collective="alltoall",source="error"}']["value"] == 1
+        assert snap['service.query_total'
+                    '{collective="<invalid>",source="error"}']["value"] == 1
+
+    def test_label_cardinality_is_capped(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False) as service:
+            cap = service._LABEL_CAP
+            for i in range(cap + 20):                 # unique garbage names
+                with pytest.raises(ConfigurationError):
+                    service.query(f"no-such-collective-{i}", 4, 8)
+            labeled = [k for k in service.metrics
+                       if k.startswith("service.query_total{")]
+            assert len(labeled) <= cap + 1            # + the "<other>" bucket
+            other = service.metrics.get(
+                "service.query_total",
+                {"collective": "<other>", "source": "error"})
+            assert other is not None and other.value >= 20
+
+    def test_query_seconds_strictly_per_query(self, seeded_store):
+        # Satellite fix: batch latency must not skew the per-query
+        # histogram — each batch item observes individually and the whole
+        # batch lands in service.batch_seconds.
+        with SelectionService(seeded_store, watch_store=False) as service:
+            service.query("alltoall", 4, 1024)
+            service.query_batch([
+                {"collective": "alltoall", "comm_size": 4, "msg_bytes": 1024},
+                {"collective": "allreduce", "comm_size": 4, "msg_bytes": 1024},
+                {"collective": "alltoall", "comm_size": 4,
+                 "msg_bytes": 65536},
+            ])
+            h_query = service.metrics.histogram("service.query_seconds")
+            h_batch = service.metrics.histogram("service.batch_seconds")
+        assert h_query.count == 4                     # 1 single + 3 items
+        assert h_batch.count == 1
+        assert h_batch.total > 0.0
+        assert h_query.quantile(0.99) is not None
+        # Batch items are tagged distinctly in the flight recorder.
+        ops = {e["op"] for e in service.flight.dump()["slowest"]}
+        assert ops <= {"query", "batch-item"} and "batch-item" in ops
+
+    def test_cache_entries_gauge_tracks_lru(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False,
+                              cache_size=2) as service:
+            service.query("alltoall", 4, 1024)
+            service.query("allreduce", 4, 1024)
+            service.query("alltoall", 4, 65536)       # evicts the oldest
+            gauge = service.metrics.gauge("service.cache_entries")
+        assert gauge.value == 2
+        assert gauge.peak == 2
+
+    def test_reload_total_counter(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False) as service:
+            service.reload()
+            service.reload()
+            assert service.metrics.counter(
+                "service.reload_total").value == 2
+
+    def test_flight_records_slowest_and_errors(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False,
+                              flight_capacity=4) as service:
+            for msg in (1024, 65536):
+                service.query("alltoall", 4, msg)
+            with pytest.raises(ConfigurationError):
+                service.query("alltoall", 0, 8)
+            dump = service.flight.dump()
+        assert dump["capacity"] == 4
+        assert len(dump["slowest"]) == 2
+        # Slowest-first ordering, full request coordinates attached.
+        lats = [e["latency_seconds"] for e in dump["slowest"]]
+        assert lats == sorted(lats, reverse=True)
+        assert dump["slowest"][0]["request"]["collective"] == "alltoall"
+        assert dump["slowest"][0]["source"] == "store"
+        (err,) = dump["errors"]
+        assert err["error"] == "ConfigurationError"
+        assert err["request"]["comm_size"] == 0
+
+    def test_flight_threshold_gates_recording(self):
+        from repro.service import FlightRecorder
+
+        rec = FlightRecorder(2)
+        assert rec.fast_threshold == 0.0              # heap not full yet
+        assert rec.record(latency=0.5)
+        assert rec.record(latency=1.0)
+        assert rec.fast_threshold == 0.5              # K-th slowest
+        assert not rec.record(latency=0.1)            # below the bar
+        assert rec.record(latency=2.0)                # displaces 0.5
+        assert rec.fast_threshold == 1.0
+        dump = rec.dump()
+        assert [e["latency_seconds"] for e in dump["slowest"]] == [2.0, 1.0]
+        assert rec.occupancy()["slow"] == 2
+        # Errors bypass the latency bar entirely.
+        assert rec.record(latency=0.0, error="Boom")
+        assert rec.occupancy()["errors"] == 1
+        rec.clear()
+        assert rec.fast_threshold == 0.0
+        assert rec.dump()["slowest"] == []
+
+    def test_table_generation_and_uptime(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False) as service:
+            assert service.table_generation == 1
+            service.reload()
+            assert service.table_generation == 2
+            assert service.uptime_seconds() >= 0.0
+
+
+class TestOpsEndpoints:
+    """op:metrics / op:debug / enriched op:stats over the wire protocol."""
+
+    def test_op_metrics_reply(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False) as service:
+            client = InProcessClient(service)
+            client.query("alltoall", 4, 1024)
+            reply = client.metrics()
+        assert reply["ok"] and reply["op"] == "metrics"
+        key = 'service.query_total{collective="alltoall",source="store"}'
+        assert reply["metrics"][key]["value"] == 1
+        q = reply["quantiles"]["service.query_seconds"]
+        assert set(q) == {"p50", "p90", "p99"}
+        assert q["p50"] > 0
+        # Empty histograms must serialize (no JSON Infinity).
+        assert reply["metrics"]["service.batch_seconds"]["min"] is None
+        assert reply["uptime_seconds"] >= 0.0
+
+    def test_op_debug_reply(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False) as service:
+            client = InProcessClient(service)
+            client.query("alltoall", 4, 1024)
+            client.query("nope", 4, 8, check=False)
+            reply = client.debug()
+        assert reply["ok"] and reply["op"] == "debug"
+        assert reply["flight"]["slowest"]
+        assert reply["flight"]["errors"][0]["error"] == "ConfigurationError"
+        assert reply["config"]["cache_size"] == 4096
+        assert reply["config"]["store_path"].endswith("tuning.db")
+        assert reply["stats"]["queries"] == 2
+        assert reply["table_generation"] == 1
+
+    def test_op_stats_enriched(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False) as service:
+            client = InProcessClient(service)
+            client.query("alltoall", 4, 1024)
+            reply = client.stats()
+        assert reply["table_generation"] == 1
+        assert reply["uptime_seconds"] >= 0.0
+        occupancy = reply["flight"]
+        assert occupancy["capacity"] == 32
+        assert occupancy["slow"] == 1
+        assert occupancy["errors"] == 0
+
+    def test_ops_answer_over_tcp(self, seeded_store):
+        with SelectionService(seeded_store, watch_store=False) as service:
+            with SelectionServer(service, port=0) as server:
+                host, port = server.address
+                with SelectionClient(host, port) as client:
+                    client.query("alltoall", 4, 1024)
+                    metrics = client.metrics()
+                    debug = client.debug()
+        assert metrics["quantiles"]["service.query_seconds"]["p99"] > 0
+        assert debug["flight"]["slowest"][0]["op"] == "query"
+
+
+class TestPrometheusEndToEnd:
+    """Acceptance: a live scrape of the service registry parses back."""
+
+    def test_scrape_round_trips_labeled_service_metrics(self, seeded_store):
+        import urllib.request
+
+        from repro.obs import MetricsHTTPServer, parse_prometheus
+
+        with SelectionService(seeded_store, watch_store=False) as service:
+            service.query("alltoall", 4, 1024)
+            service.query("alltoall", 4, 1024)
+            service.query("scatter", 4, 8)            # fallback source
+            with MetricsHTTPServer(service.metrics, port=0) as http:
+                host, port = http.address
+                text = urllib.request.urlopen(
+                    f"http://{host}:{port}/metrics").read().decode()
+        families = parse_prometheus(text)
+        total = families["repro_service_query_total"]
+        assert total["type"] == "counter"
+        by_labels = {tuple(sorted(l.items())): v
+                     for _n, l, v in total["samples"]}
+        assert by_labels[(("collective", "alltoall"),
+                          ("source", "store"))] == 2
+        assert by_labels[(("collective", "scatter"),
+                          ("source", "fallback"))] == 1
+        hist = families["repro_service_query_seconds"]
+        assert hist["type"] == "histogram"
+        counts = [v for n, _l, v in hist["samples"] if n.endswith("_count")]
+        assert counts == [3]
+
+
+class TestJsonLoggerAndSignals:
+    def test_json_logger_lines_parse_and_carry_run_id(self):
+        import io
+
+        from repro.service import JsonLogger
+
+        stream = io.StringIO()
+        logger = JsonLogger(stream, run_id="abc123")
+        logger.log("serve.start", port=7453)
+        logger.log("request.error", error="Boom", seq=4)
+        lines = [json.loads(l) for l in stream.getvalue().splitlines()]
+        assert lines[0]["event"] == "serve.start"
+        assert lines[0]["run_id"] == "abc123"
+        assert lines[0]["port"] == 7453
+        assert lines[1]["seq"] == 4
+        assert all("ts" in l for l in lines)
+
+    def test_server_logs_connections_and_errors(self, seeded_store):
+        import io
+
+        from repro.service import JsonLogger
+
+        stream = io.StringIO()
+        with SelectionService(seeded_store, watch_store=False) as service:
+            with SelectionServer(service, port=0,
+                                 logger=JsonLogger(stream),
+                                 slow_log_seconds=0.0) as server:
+                host, port = server.address
+                with SelectionClient(host, port) as client:
+                    client.query("alltoall", 4, 1024)
+                    client.query("nope", 4, 8, check=False)
+        events = [json.loads(l) for l in stream.getvalue().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert "conn.open" in kinds and "conn.close" in kinds
+        # slow_log_seconds=0.0 logs every success; the bad query errors.
+        assert "request.slow" in kinds
+        err = next(e for e in events if e["event"] == "request.error")
+        assert err["error"] == "ConfigurationError"
+        assert err["seq"] > 0
+        close = next(e for e in events if e["event"] == "conn.close")
+        assert close["requests"] == 2
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGUSR1"),
+                        reason="SIGUSR1 is POSIX-only")
+    def test_sigusr1_dumps_flight_recorder(self, seeded_store):
+        import io
+
+        from repro.service import install_sigusr1_dump
+
+        service = SelectionService(seeded_store, watch_store=False)
+        stream = io.StringIO()
+        previous = install_sigusr1_dump(service, stream)
+        if previous is None:  # pragma: no cover - non-main-thread runner
+            service.close()
+            pytest.skip("not on the main thread")
+        try:
+            service.query("alltoall", 4, 1024)
+            os.kill(os.getpid(), signal.SIGUSR1)
+            payload = json.loads(stream.getvalue())
+            assert payload["op"] == "debug"
+            assert payload["flight"]["slowest"]
+        finally:
+            signal.signal(signal.SIGUSR1, previous)
+            service.close()
