@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Soft gate for observability overhead (``bench_obs.py`` results).
+
+Two checks on a fresh ``pytest-benchmark --benchmark-json`` run:
+
+* **Overhead pairs.**  For each traced/untraced pair the enabled-mode
+  overhead ``linked_median / untraced_median - 1`` must stay within the
+  budget (default 10%).  Exceeding it emits a GitHub Actions
+  ``::warning::`` — never a hard failure, because CI wall clocks are
+  noisy — but the annotation makes a creeping hot-path regression
+  visible on every run.
+* **Coverage.**  A bench present in the fresh run but missing from the
+  committed ``BENCH_obs.json`` baseline (or vice versa) is a hard
+  failure, exactly like ``check_engine_regression.py``: silent coverage
+  rot is worse than noise.
+
+Usage::
+
+    python benchmarks/check_obs_overhead.py fresh.json
+    python benchmarks/check_obs_overhead.py --budget 0.15 fresh.json
+    python benchmarks/check_obs_overhead.py --subset fresh.json
+    python benchmarks/check_obs_overhead.py --update fresh.json  # rewrite baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_obs.json"
+
+#: linked bench -> its untraced counterpart.
+PAIRS = {
+    "bench_obs_alltoall64_exact_linked": "bench_obs_alltoall64_exact_untraced",
+    "bench_obs_alltoall64_hybrid_linked": "bench_obs_alltoall64_hybrid_untraced",
+}
+
+
+def load_medians(benchmark_json: Path) -> dict[str, float]:
+    """Extract {benchmark name: median seconds} from pytest-benchmark output."""
+    data = json.loads(benchmark_json.read_text())
+    return {b["name"]: float(b["stats"]["median"]) for b in data["benchmarks"]}
+
+
+def load_baseline(path: Path = BASELINE_PATH) -> dict[str, float]:
+    return {k: float(v) for k, v in json.loads(path.read_text())["medians"].items()}
+
+
+def write_baseline(medians: dict[str, float], path: Path = BASELINE_PATH) -> None:
+    out = {
+        "_comment": (
+            "Median wall-clock seconds per observability benchmark (see "
+            "check_obs_overhead.py). The linked/untraced pairs bound the "
+            "enabled-mode recording overhead. Regenerate with: python "
+            "benchmarks/check_obs_overhead.py --update <pytest-benchmark json>"
+        ),
+        "medians": {k: round(v, 6) for k, v in sorted(medians.items())},
+    }
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+
+
+def check(fresh: dict[str, float], baseline: dict[str, float],
+          budget: float, subset: bool = False) -> tuple[list[str], list[str]]:
+    """Return (hard errors, soft warnings) for a fresh run."""
+    errors = []
+    warnings = []
+    for name in sorted(fresh):
+        if name not in baseline:
+            errors.append(
+                f"::error::obs benchmark '{name}' has no baseline entry — "
+                f"run check_obs_overhead.py --update to record it in "
+                f"BENCH_obs.json"
+            )
+    for name in sorted(baseline):
+        if name not in fresh and not subset:
+            errors.append(
+                f"::error::obs benchmark '{name}' is in the baseline but was "
+                f"not run (renamed or removed? update BENCH_obs.json, or "
+                f"pass --subset for partial runs)"
+            )
+    for linked, untraced in sorted(PAIRS.items()):
+        if linked not in fresh or untraced not in fresh:
+            continue
+        base = fresh[untraced]
+        if base <= 0:
+            continue
+        overhead = fresh[linked] / base - 1.0
+        if overhead > budget:
+            warnings.append(
+                f"::warning::link recording overhead on "
+                f"'{linked.removeprefix('bench_obs_')}' is "
+                f"{overhead * 100:.0f}% (budget {budget * 100:.0f}%): "
+                f"{base * 1e3:.2f} ms untraced -> "
+                f"{fresh[linked] * 1e3:.2f} ms linked"
+            )
+        else:
+            print(f"{linked.removeprefix('bench_obs_')}: overhead "
+                  f"{overhead * 100:+.1f}% (budget {budget * 100:.0f}%)")
+    return errors, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benchmark_json", type=Path,
+                        help="pytest-benchmark --benchmark-json output file")
+    parser.add_argument("--budget", type=float, default=0.10,
+                        help="allowed fractional traced-vs-untraced overhead "
+                             "(default 0.10)")
+    parser.add_argument("--subset", action="store_true",
+                        help="tolerate baseline benches that were not run")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    args = parser.parse_args(argv)
+
+    fresh = load_medians(args.benchmark_json)
+    if args.update:
+        write_baseline(fresh)
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    errors, warnings = check(fresh, load_baseline(), args.budget,
+                             subset=args.subset)
+    for line in errors + warnings:
+        print(line)
+    print(f"obs benchmarks checked: {len(fresh)} run, "
+          f"{len(errors)} error(s), {len(warnings)} warning(s), "
+          f"budget {args.budget * 100:.0f}%")
+    # Coverage drift blocks; wall-clock noise only annotates.
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -301,6 +301,15 @@ def build_parser() -> argparse.ArgumentParser:
     pprof.add_argument("--timeline-width", type=int, default=64,
                        dest="timeline_width",
                        help="ASCII timeline body width in columns")
+    pprof.add_argument("--links", action="store_true",
+                       help="record per-link fabric telemetry: prints the "
+                       "ASCII network weather map and contention "
+                       "attribution, and publishes link.* gauges into the "
+                       "metrics snapshot")
+    pprof.add_argument("--links-out", default=None, metavar="PATH",
+                       dest="links_out",
+                       help="with --links: also write the link utilization "
+                       "heatmap as a standalone SVG file")
 
     prep = sub.add_parser(
         "report",
@@ -419,7 +428,53 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             title=f"virtual timeline ({collective}/{algorithm}, "
             f"{result.pattern_name})",
         ))
+    if octx.enabled and octx.links is not None:
+        _profile_links(args, octx)
     return 0
+
+
+def _profile_links(args: argparse.Namespace, octx) -> None:
+    """Render the ``--links`` outputs from a profiled session's records."""
+    from repro.obs.analysis import TraceAnalysis
+    from repro.reporting.svg import svg_heatmap
+    from repro.reporting.weather import render_weather_map
+    from repro.utils.units import format_time
+
+    analysis = TraceAnalysis.from_context(octx)
+    usage = analysis.link_usage()
+    print()
+    if not usage:
+        print("fabric weather map: no link records (self-sends only?)")
+        return
+    timeline = analysis.link_timeline(bins=args.timeline_width)
+    print(render_weather_map(timeline, usage,
+                             title="fabric weather map (hottest links first)"))
+    hot = analysis.link_hotspots(top=5)
+    print()
+    print("link hotspots (by contention wait):")
+    for u in hot:
+        print(f"  {u['link']}: wait {format_time(u['wait'])}, "
+              f"busy {format_time(u['busy'])}, {u['bytes']:g} bytes "
+              f"in {u['messages']} messages")
+    attr = [r for r in analysis.link_attribution() if r["wait"] > 0.0]
+    top = (hot[0]["port"], hot[0]["cls"], hot[0]["direction"])
+    blame = [r for r in attr
+             if (r["port"], r["cls"], r["direction"]) == top]
+    if blame:
+        print(f"  hotspot attribution ({hot[0]['link']}): " + ", ".join(
+            f"{r['activity']} {format_time(r['wait'])}" for r in blame))
+    # The gauges ride into --metrics-out and the Prometheus exposition path.
+    octx.links.publish_gauges(octx.metrics)
+    links_out = getattr(args, "links_out", None)
+    if links_out:
+        rows = analysis.link_timeline(bins=48)["rows"]
+        values = [[min(b, 1.0) for b in r["busy"]] for r in rows]
+        svg = svg_heatmap(values, [r["link"] for r in rows],
+                          [str(i) for i in range(48)],
+                          title="busy fraction per link over time bins")
+        with open(links_out, "w") as fh:
+            fh.write(svg)
+        print(f"wrote link heatmap: {links_out}")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -779,10 +834,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro import obs
 
         # profile is the deep-dive command: per-message spans feed the
-        # comm-volume matrices and critical-path sections of the report.
+        # comm-volume matrices and critical-path sections of the report,
+        # and --links turns on the fabric telemetry recorder.
         with obs.session(meta={"command": command},
                          record_spans=bool(trace_out),
-                         record_messages=(command == "profile")) as octx:
+                         record_messages=(command == "profile"),
+                         record_links=(command == "profile"
+                                       and getattr(args, "links", False))
+                         ) as octx:
             code = _dispatch(command, args)
     else:
         code = _dispatch(command, args)

@@ -8,6 +8,10 @@ Every layer of the stack plugs into one :class:`ObsContext` per run:
 * **spans** — virtual-time intervals on one track per simulated rank
   (arrival patterns become literally visible) plus wall-clock intervals
   for harness stages, in a bounded ring buffer (:mod:`repro.obs.spans`);
+* **fabric links** — bounded per-port busy-interval records from both
+  engines' FIFO port chains, the raw material for per-link utilization,
+  contention attribution, and the network weather map
+  (:mod:`repro.obs.linkstats`);
 * **exporters** — Chrome/Perfetto ``trace_event`` JSON, a JSONL event
   stream, and a metrics snapshot, all stamped with a deterministic run ID
   (:mod:`repro.obs.export`, :mod:`repro.obs.runid`);
@@ -94,6 +98,17 @@ from repro.obs.metrics import (
     metric_key,
     parse_metric_key,
 )
+from repro.obs.linkstats import (
+    CLASS_NAMES,
+    DEFAULT_LINK_CAPACITY,
+    DIRECTION_NAMES,
+    FIELDS as LINK_FIELDS,
+    LinkStatsRecorder,
+    RX,
+    TX,
+    link_name,
+    port_name,
+)
 from repro.obs.runid import RUN_ID_LEN, make_run_id
 from repro.obs.spans import (
     DEFAULT_CAPACITY,
@@ -142,6 +157,16 @@ __all__ = [
     "DEFAULT_CAPACITY",
     "rank_track",
     "msg_track",
+    # fabric links
+    "LinkStatsRecorder",
+    "DEFAULT_LINK_CAPACITY",
+    "CLASS_NAMES",
+    "DIRECTION_NAMES",
+    "TX",
+    "RX",
+    "LINK_FIELDS",
+    "port_name",
+    "link_name",
     # run ids
     "RUN_ID_LEN",
     "make_run_id",

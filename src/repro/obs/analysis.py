@@ -26,6 +26,12 @@ measures; this module turns spans into those numbers:
 * **Comm-volume matrices**: per ``(src, dst)`` byte and message counts
   from per-message engine spans (``record_messages=True`` sessions).
 
+* **Fabric-link attribution**: from the link records of a
+  ``record_links=True`` session (see :mod:`repro.obs.linkstats`),
+  per-link utilization totals, contention wait charged per link ×
+  collective/algorithm, binned utilization timelines (the weather map's
+  raw form), and hotspot ranking.
+
 * **Algorithm phase breakdown**: time per span name on the rank tracks —
   skew waits vs. time inside each collective algorithm.
 
@@ -57,6 +63,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.errors import TraceFormatError
 from repro.obs.export import load_perfetto, read_jsonl
+from repro.obs.linkstats import link_name
 from repro.obs.spans import VIRTUAL
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -201,13 +208,19 @@ class TraceAnalysis:
 
     def __init__(self, spans: Sequence[dict], run_id: str = "",
                  metrics: dict[str, dict] | None = None,
-                 dropped: int = 0) -> None:
+                 dropped: int = 0,
+                 links: Sequence[dict] | None = None,
+                 dropped_links: int = 0) -> None:
         self.run_id = run_id
         self.metrics = dict(metrics or {})
         self.dropped = int(dropped)
         self.spans: list[dict] = [
             s for s in spans if s.get("domain", VIRTUAL) == VIRTUAL
         ]
+        #: Fabric link records (:data:`repro.obs.linkstats.FIELDS` dicts)
+        #: from a ``record_links=True`` session; empty otherwise.
+        self.links: list[dict] = list(links or [])
+        self.dropped_links = int(dropped_links)
         self._calls: list[CollectiveCall] | None = None
 
     # -- constructors --------------------------------------------------- #
@@ -217,8 +230,11 @@ class TraceAnalysis:
         """Analyze a live (enabled) observability context."""
         recorder = ctx.spans
         spans = [s.to_dict() for s in recorder] if recorder is not None else []
+        links = ctx.links
         return cls(spans, run_id=ctx.run_id, metrics=ctx.metrics.snapshot(),
-                   dropped=recorder.dropped if recorder is not None else 0)
+                   dropped=recorder.dropped if recorder is not None else 0,
+                   links=links.to_dicts() if links is not None else None,
+                   dropped_links=links.dropped if links is not None else 0)
 
     @classmethod
     def from_file(cls, path) -> "TraceAnalysis":
@@ -235,7 +251,9 @@ class TraceAnalysis:
         return cls(stream["spans"],
                    run_id=stream["header"].get("run_id", ""),
                    metrics=stream["metrics"],
-                   dropped=int(end.get("dropped", 0)))
+                   dropped=int(end.get("dropped", 0)),
+                   links=stream.get("links"),
+                   dropped_links=int(end.get("dropped_links", 0)))
 
     @classmethod
     def _from_perfetto(cls, payload: dict, source: str) -> "TraceAnalysis":
@@ -263,7 +281,9 @@ class TraceAnalysis:
             })
         other = payload.get("otherData") or {}
         return cls(spans, run_id=str(other.get("run_id", source)),
-                   dropped=int(other.get("dropped_spans", 0)))
+                   dropped=int(other.get("dropped_spans", 0)),
+                   links=other.get("links"),
+                   dropped_links=int(other.get("dropped_links", 0)))
 
     # -- collective calls ------------------------------------------------ #
 
@@ -436,6 +456,130 @@ class TraceAnalysis:
             agg["seconds"] += s["end"] - s["start"]
         return dict(sorted(out.items()))
 
+    # -- fabric links ------------------------------------------------------ #
+
+    def link_usage(self) -> list[dict]:
+        """Per-link utilization totals from the fabric link records.
+
+        One row per distinct ``(port, cls, direction)`` — busy seconds,
+        bytes, message count, and contention-wait seconds summed over the
+        whole trace — sorted by that key, so the output is deterministic.
+        Empty when the trace was not a ``record_links=True`` session.
+        """
+        totals: dict[tuple[int, int, int], dict] = {}
+        for r in self.links:
+            key = (int(r["port"]), int(r["cls"]), int(r["direction"]))
+            agg = totals.get(key)
+            if agg is None:
+                totals[key] = agg = {"busy": 0.0, "bytes": 0.0,
+                                     "messages": 0, "wait": 0.0}
+            agg["busy"] += float(r["busy"])
+            agg["bytes"] += float(r["nbytes"])
+            agg["messages"] += int(r["messages"])
+            agg["wait"] += float(r["wait"])
+        return [
+            {"port": p, "cls": c, "direction": d, "link": link_name(p, c, d),
+             **totals[(p, c, d)]}
+            for p, c, d in sorted(totals)
+        ]
+
+    def link_attribution(self) -> list[dict]:
+        """Contention wait charged per link × collective/algorithm.
+
+        ``wait`` is the seconds traffic sat ready but blocked behind other
+        claims of the same port, summed per ``(link, activity)`` where
+        ``activity`` is the ``"{collective}/{algorithm}"`` label active at
+        claim time (``"p2p"`` for raw point-to-point traffic).  This is
+        the "which collective made this link hot" answer: sorted rows,
+        heaviest attribution first within each link.
+        """
+        waits: dict[tuple[int, int, int, str], dict] = {}
+        for r in self.links:
+            activity = r.get("activity") or "p2p"
+            key = (int(r["port"]), int(r["cls"]), int(r["direction"]),
+                   activity)
+            agg = waits.get(key)
+            if agg is None:
+                waits[key] = agg = {"busy": 0.0, "bytes": 0.0,
+                                    "messages": 0, "wait": 0.0}
+            agg["busy"] += float(r["busy"])
+            agg["bytes"] += float(r["nbytes"])
+            agg["messages"] += int(r["messages"])
+            agg["wait"] += float(r["wait"])
+        rows = [
+            {"port": p, "cls": c, "direction": d, "link": link_name(p, c, d),
+             "activity": act, **waits[(p, c, d, act)]}
+            for p, c, d, act in waits
+        ]
+        rows.sort(key=lambda r: (r["port"], r["cls"], r["direction"],
+                                 -r["wait"], -r["busy"], r["activity"]))
+        return rows
+
+    def link_hotspots(self, top: int | None = None) -> list[dict]:
+        """Links ranked hottest first: by wait, then busy, then key.
+
+        The top entry is *the* congestion hotspot — the port whose FIFO
+        queued the most ready-but-blocked traffic.  Ties (e.g. a perfectly
+        symmetric exchange) break deterministically on busy seconds and
+        then the link key, so exact and hybrid runs of the same case
+        agree on the ranking.
+        """
+        ranked = sorted(
+            self.link_usage(),
+            key=lambda r: (-r["wait"], -r["busy"],
+                           r["port"], r["cls"], r["direction"]),
+        )
+        return ranked[:top] if top is not None else ranked
+
+    def link_timeline(self, bins: int = 60) -> dict:
+        """Binned per-link busy-fraction timeline — the weather map's data.
+
+        Splits the trace's link-record extent into ``bins`` equal slots
+        and spreads each record's busy seconds uniformly over the slots
+        its ``[start, end]`` interval overlaps (exact for single-message
+        records; an even-occupancy approximation for flow-batch
+        aggregates, whose envelope spans a whole phase).  Returns
+        ``{"t0", "t1", "bin_seconds", "bins", "rows"}`` where each row is
+        ``{"port", "cls", "direction", "link", "busy"}`` with ``busy`` a
+        per-bin list of busy-fraction floats in ``[0, 1]`` (aggregates can
+        exceed 1 when several messages overlap on a flow batch; the
+        renderers clamp).  Rows sort by link key.
+        """
+        if not self.links:
+            return {"t0": 0.0, "t1": 0.0, "bin_seconds": 0.0,
+                    "bins": bins, "rows": []}
+        t0 = min(float(r["start"]) for r in self.links)
+        t1 = max(float(r["end"]) for r in self.links)
+        width = (t1 - t0) / bins if t1 > t0 else 0.0
+        rows: dict[tuple[int, int, int], list[float]] = {}
+        for r in self.links:
+            key = (int(r["port"]), int(r["cls"]), int(r["direction"]))
+            slots = rows.get(key)
+            if slots is None:
+                rows[key] = slots = [0.0] * bins
+            start, end = float(r["start"]), float(r["end"])
+            busy = float(r["busy"])
+            if width <= 0.0 or end <= start:
+                slots[0] += busy
+                continue
+            # Spread busy over the overlapped bins, proportional to overlap.
+            lo = min(int((start - t0) / width), bins - 1)
+            hi = min(int((end - t0) / width), bins - 1)
+            span = end - start
+            for b in range(lo, hi + 1):
+                b0, b1 = t0 + b * width, t0 + (b + 1) * width
+                overlap = min(end, b1) - max(start, b0)
+                if overlap > 0:
+                    slots[b] += busy * (overlap / span)
+        out_rows = [
+            {"port": p, "cls": c, "direction": d, "link": link_name(p, c, d),
+             "busy": ([b / width for b in rows[(p, c, d)]] if width > 0
+                      else rows[(p, c, d)])}
+            for p, c, d in sorted(rows)
+        ]
+        return {"t0": t0, "t1": t1, "bin_seconds": width, "bins": bins,
+                "rows": out_rows}
+
     # -- critical path ---------------------------------------------------- #
 
     def critical_path(self, call: CollectiveCall | None = None) -> CriticalPath:
@@ -520,6 +664,7 @@ class TraceAnalysis:
         payload: dict[str, Any] = {
             "run_id": self.run_id,
             "dropped_spans": self.dropped,
+            "dropped_links": self.dropped_links,
             "calls": [
                 {
                     "cell": c.cell, "rep": c.rep, "name": c.name,
@@ -533,6 +678,12 @@ class TraceAnalysis:
             "imbalance": self.imbalance() if calls else None,
             "phases": self.phase_breakdown(),
             "comm": self.comm_matrix().to_dict(),
+            "links": {
+                "records": len(self.links),
+                "usage": self.link_usage(),
+                "attribution": self.link_attribution(),
+                "hotspots": self.link_hotspots(top=10),
+            } if self.links else None,
             "critical_path": None,
             "metrics": {name: snap for name, snap in sorted(self.metrics.items())
                         if name not in HOST_TIME_METRICS},

@@ -37,6 +37,7 @@ from contextlib import contextmanager, nullcontext
 from contextvars import ContextVar
 from typing import Any, Iterator
 
+from repro.obs.linkstats import DEFAULT_LINK_CAPACITY, LinkStatsRecorder
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetricsRegistry
 from repro.obs.spans import DEFAULT_CAPACITY, SpanRecorder, rank_track
 from repro.obs.runid import make_run_id
@@ -49,13 +50,15 @@ class ObsContext:
     """Container for one run's observability state (enabled mode)."""
 
     __slots__ = ("run_id", "meta", "enabled", "record_spans",
-                 "record_messages", "metrics", "spans", "engine_stats",
-                 "merge_cursor")
+                 "record_messages", "record_links", "metrics", "spans",
+                 "links", "engine_stats", "merge_cursor")
 
     def __init__(self, run_id: str, meta: dict[str, Any],
                  record_spans: bool = True,
                  record_messages: bool = False,
-                 span_capacity: int = DEFAULT_CAPACITY) -> None:
+                 record_links: bool = False,
+                 span_capacity: int = DEFAULT_CAPACITY,
+                 link_capacity: int = DEFAULT_LINK_CAPACITY) -> None:
         self.run_id = run_id
         self.meta = meta
         self.enabled = True
@@ -66,8 +69,18 @@ class ObsContext:
         #: in :mod:`repro.obs.analysis`.  Off by default: per-message spans
         #: are O(messages), which a large sweep would drown in.
         self.record_messages = record_messages
+        #: When True, both engines record per-port busy intervals into
+        #: ``links`` (fabric utilization and contention; see
+        #: :mod:`repro.obs.linkstats`).  Off by default for the same
+        #: O(messages) reason as ``record_messages``.
+        self.record_links = record_links
         self.metrics: MetricsRegistry = MetricsRegistry()
         self.spans = SpanRecorder(capacity=span_capacity)
+        #: Fabric link recorder, or None when link recording is off — the
+        #: engine captures this attribute directly, so the disabled-mode
+        #: hot-path cost is one None check per message.
+        self.links = (LinkStatsRecorder(capacity=link_capacity)
+                      if record_links else None)
         #: Run-scoped EngineStats aggregate (lazily typed off the first
         #: absorbed stats object, so this module never imports the engine).
         self.engine_stats: Any = None
@@ -123,8 +136,10 @@ class NullObsContext:
     enabled = False
     record_spans = False
     record_messages = False
+    record_links = False
     metrics: NullMetricsRegistry = NULL_METRICS
     spans = None
+    links = None
     engine_stats = None
     merge_cursor = 0.0
 
@@ -162,7 +177,9 @@ def current() -> ObsContext | NullObsContext:
 def session(run_id: str | None = None, meta: dict[str, Any] | None = None,
             record_spans: bool = True,
             record_messages: bool = False,
-            span_capacity: int = DEFAULT_CAPACITY) -> Iterator[ObsContext]:
+            record_links: bool = False,
+            span_capacity: int = DEFAULT_CAPACITY,
+            link_capacity: int = DEFAULT_LINK_CAPACITY) -> Iterator[ObsContext]:
     """Open a run-scoped observability session for a ``with`` block.
 
     ``run_id`` defaults to the deterministic ID of ``meta`` (see
@@ -175,7 +192,9 @@ def session(run_id: str | None = None, meta: dict[str, Any] | None = None,
         run_id = make_run_id(meta, prefix="run")
     ctx = ObsContext(run_id, meta, record_spans=record_spans,
                      record_messages=record_messages,
-                     span_capacity=span_capacity)
+                     record_links=record_links,
+                     span_capacity=span_capacity,
+                     link_capacity=link_capacity)
     token = _current.set(ctx)
     try:
         yield ctx

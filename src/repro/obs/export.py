@@ -23,8 +23,9 @@ and sort-index metadata events order rank tracks numerically.
 JSONL stream
 ------------
 :func:`export_jsonl` writes a self-describing line stream: a header object,
-one object per span, one per metric, the engine-stats aggregate, and a
-trailer with ring-buffer accounting (recorded vs. dropped spans) so a
+one object per span, one per fabric-link record (``record_links=True``
+sessions), one per metric, the engine-stats aggregate, and a trailer with
+ring-buffer accounting (recorded vs. dropped spans and link records) so a
 truncated trace is detectable.  :func:`read_jsonl` loads it back.
 """
 
@@ -117,14 +118,22 @@ def export_perfetto(path: str | Path, ctx: "ObsContext") -> Path:
     """Write ``ctx`` as Perfetto-loadable ``trace_event`` JSON."""
     path = Path(path)
     dropped = ctx.spans.dropped if ctx.spans is not None else 0
+    links = getattr(ctx, "links", None)
+    other: dict[str, Any] = {
+        "run_id": ctx.run_id,
+        "dropped_spans": dropped,
+        **{str(k): v for k, v in ctx.meta.items()},
+    }
+    if links is not None:
+        # Perfetto has no native port-utilization track; the raw link
+        # records ride along in otherData so analyses loaded from the
+        # Perfetto file keep the fabric view.
+        other["links"] = links.to_dicts()
+        other["dropped_links"] = links.dropped
     payload = {
         "traceEvents": trace_events(ctx),
         "displayTimeUnit": "ms",
-        "otherData": {
-            "run_id": ctx.run_id,
-            "dropped_spans": dropped,
-            **{str(k): v for k, v in ctx.meta.items()},
-        },
+        "otherData": other,
     }
     path.write_text(json.dumps(payload))
     return path
@@ -139,6 +148,7 @@ def metrics_payload(ctx: "ObsContext") -> dict:
     """
     engine = ctx.engine_stats
     spans = ctx.spans
+    links = getattr(ctx, "links", None)
     return {
         "run_id": ctx.run_id,
         "meta": {str(k): v for k, v in ctx.meta.items()},
@@ -147,6 +157,10 @@ def metrics_payload(ctx: "ObsContext") -> dict:
         "spans": {
             "recorded": len(spans) if spans is not None else 0,
             "dropped": spans.dropped if spans is not None else 0,
+        },
+        "links": {
+            "recorded": len(links) if links is not None else 0,
+            "dropped": links.dropped if links is not None else 0,
         },
     }
 
@@ -162,6 +176,7 @@ def export_jsonl(path: str | Path, ctx: "ObsContext") -> Path:
     """Write ``ctx`` as a self-describing JSONL event stream."""
     path = Path(path)
     spans = ctx.spans
+    links = getattr(ctx, "links", None)
     with open(path, "w") as fh:
         fh.write(json.dumps({
             "magic": _JSONL_MAGIC,
@@ -172,6 +187,9 @@ def export_jsonl(path: str | Path, ctx: "ObsContext") -> Path:
         if spans is not None:
             for span in spans:
                 fh.write(json.dumps({"type": "span", **span.to_dict()}) + "\n")
+        if links is not None:
+            for rec in links.to_dicts():
+                fh.write(json.dumps({"type": "link", **rec}) + "\n")
         for name, snap in ctx.metrics.snapshot().items():
             fh.write(json.dumps({"type": "metric", "name": name, **snap}) + "\n")
         if ctx.engine_stats is not None:
@@ -181,6 +199,8 @@ def export_jsonl(path: str | Path, ctx: "ObsContext") -> Path:
             "type": "end",
             "spans": len(spans) if spans is not None else 0,
             "dropped": spans.dropped if spans is not None else 0,
+            "links": len(links) if links is not None else 0,
+            "dropped_links": links.dropped if links is not None else 0,
         }) + "\n")
     return path
 
@@ -188,9 +208,10 @@ def export_jsonl(path: str | Path, ctx: "ObsContext") -> Path:
 def read_jsonl(path: str | Path) -> dict:
     """Load a JSONL stream back into plain dicts.
 
-    Returns ``{"header", "spans", "metrics", "engine", "end"}`` — the spans
-    as a list of dicts, the metrics keyed by name.  Raises
-    :class:`~repro.errors.TraceFormatError` on malformed input.
+    Returns ``{"header", "spans", "links", "metrics", "engine", "end"}`` —
+    the spans and fabric-link records as lists of dicts, the metrics keyed
+    by name.  Raises :class:`~repro.errors.TraceFormatError` on malformed
+    input.
     """
     path = Path(path)
     lines = path.read_text().splitlines()
@@ -206,8 +227,8 @@ def read_jsonl(path: str | Path) -> dict:
         raise TraceFormatError(
             f"{path}: unsupported version {header.get('version')}"
         )
-    out: dict[str, Any] = {"header": header, "spans": [], "metrics": {},
-                           "engine": None, "end": None}
+    out: dict[str, Any] = {"header": header, "spans": [], "links": [],
+                           "metrics": {}, "engine": None, "end": None}
     for lineno, line in enumerate(lines[1:], start=2):
         if not line.strip():
             continue
@@ -218,6 +239,8 @@ def read_jsonl(path: str | Path) -> dict:
             raise TraceFormatError(f"{path}:{lineno}: bad event: {exc}") from None
         if kind == "span":
             out["spans"].append(obj)
+        elif kind == "link":
+            out["links"].append(obj)
         elif kind == "metric":
             out["metrics"][obj.pop("name")] = obj
         elif kind == "engine":
@@ -243,20 +266,29 @@ def load_perfetto(path: str | Path) -> dict:
 
 
 def dropped_span_warning(ctx: "ObsContext") -> str | None:
-    """A loud one-line warning when the session's span ring overflowed.
+    """A loud one-line warning when a session ring buffer overflowed.
 
-    Returns ``None`` when nothing was dropped.  Exporter callers (the CLI,
-    the HTML report) surface this so a truncated trace is never mistaken
-    for a complete one — every analysis derived from it may be missing the
-    *oldest* spans.
+    Covers both the span ring and the fabric-link ring.  Returns ``None``
+    when nothing was dropped.  Exporter callers (the CLI, the HTML report)
+    surface this so a truncated trace is never mistaken for a complete
+    one — every analysis derived from it may be missing the *oldest*
+    records.
     """
+    parts: list[str] = []
     spans = ctx.spans
-    if spans is None or spans.dropped == 0:
+    if spans is not None and spans.dropped:
+        parts.append(f"{spans.dropped} span(s) dropped "
+                     f"(capacity {spans.capacity})")
+    links = getattr(ctx, "links", None)
+    if links is not None and links.dropped:
+        parts.append(f"{links.dropped} link record(s) dropped "
+                     f"(capacity {links.capacity})")
+    if not parts:
         return None
     return (
-        f"WARNING: span buffer overflowed: {spans.dropped} span(s) dropped "
-        f"(capacity {spans.capacity}); the trace and everything derived "
-        f"from it are incomplete — raise the span capacity or narrow the run"
+        f"WARNING: trace buffer overflowed: {'; '.join(parts)}; the trace "
+        f"and everything derived from it are incomplete — raise the "
+        f"capacity or narrow the run"
     )
 
 

@@ -6,13 +6,17 @@ requests — so a report uploaded as a CI artifact or mailed around renders
 anywhere.  Sections:
 
 * run header (run id, span accounting) with a loud banner when the span
-  ring dropped spans (the trace below is then incomplete);
+  or fabric-link ring dropped records (the trace below is then
+  incomplete);
 * per-call delay table: ``d_hat`` / ``d_star`` / arrival spread per
   reconstructed collective call, plus the imbalance summary;
 * virtual-time timeline (rank tracks + merged-cell containers) rendered
   with :func:`repro.reporting.svg.svg_timeline`;
 * comm-volume heatmap (bytes per src -> dst) when the trace carries
   per-message spans;
+* fabric links: per-link utilization/wait table, busy-fraction heatmap
+  over time (the weather map), and per-collective contention attribution
+  when the trace carries link records (``record_links=True`` sessions);
 * critical-path attribution (compute / link / skew partition of
   ``d_star``) for the longest call;
 * algorithm phase breakdown and the metric tables.
@@ -101,6 +105,58 @@ def _comm_section(analysis: TraceAnalysis) -> str:
     )
 
 
+#: Row cap for the link heatmap/tables — a 16k-rank trace has tens of
+#: thousands of links; the report shows the hottest ones and says so.
+_MAX_LINK_ROWS = 32
+
+
+def _links_section(analysis: TraceAnalysis) -> str:
+    usage = analysis.link_usage()
+    if not usage:
+        return ("<p class='meta'>No fabric link records — record the trace "
+                "with link recording on (<code>repro-mpi profile --links"
+                "</code>) to get per-link utilization and contention "
+                "attribution.</p>")
+    hot = analysis.link_hotspots(top=_MAX_LINK_ROWS)
+    out = (
+        f"<p class='meta'>{len(usage)} active links, "
+        f"{sum(u['messages'] for u in usage)} port claims; hotspot: "
+        f"<code>{escape(hot[0]['link'])}</code> "
+        f"({format_time(hot[0]['wait'])} contention wait).</p>"
+    )
+    out += _table(
+        ["link", "busy", "wait", "bytes", "messages"],
+        [[u["link"], format_time(u["busy"]), format_time(u["wait"]),
+          f"{u['bytes']:g}", str(u["messages"])] for u in hot],
+    )
+    if len(usage) > _MAX_LINK_ROWS:
+        out += (f"<p class='meta'>… {len(usage) - _MAX_LINK_ROWS} cooler "
+                "links omitted.</p>")
+    timeline = analysis.link_timeline(bins=24)
+    keep = {(u["port"], u["cls"], u["direction"]) for u in hot}
+    rows = [r for r in timeline["rows"]
+            if (r["port"], r["cls"], r["direction"]) in keep]
+    values = [[min(b, 1.0) for b in r["busy"]] for r in rows]
+    figure = svg_heatmap(
+        values, [r["link"] for r in rows],
+        [str(i) for i in range(timeline["bins"])],
+        title="busy fraction per link (rows) over time bins (cols)",
+    )
+    out += f"<figure>{figure}</figure>"
+    attr = [r for r in analysis.link_attribution()
+            if (r["port"], r["cls"], r["direction"]) in keep
+            and r["wait"] > 0.0][:_MAX_LINK_ROWS]
+    if attr:
+        out += "<p class='meta'>Contention attribution (who made it hot):</p>"
+        out += _table(
+            ["link", "collective/algorithm", "wait", "messages"],
+            [[r["link"], r["activity"], format_time(r["wait"]),
+              str(r["messages"])] for r in attr],
+            left_cols=2,
+        )
+    return out
+
+
 def _critical_path_section(analysis: TraceAnalysis) -> str:
     if not analysis.calls() or not analysis.message_spans():
         return ("<p class='meta'>Critical-path extraction needs per-message "
@@ -163,11 +219,16 @@ def render_report(analysis: TraceAnalysis, title: str = "") -> str:
         f"<p class='meta'>run id: <code>{escape(analysis.run_id or '-')}"
         f"</code> &middot; {len(analysis.spans)} virtual spans</p>",
     ]
-    if analysis.dropped > 0:
+    if analysis.dropped > 0 or analysis.dropped_links > 0:
+        what = []
+        if analysis.dropped > 0:
+            what.append(f"{analysis.dropped} span(s)")
+        if analysis.dropped_links > 0:
+            what.append(f"{analysis.dropped_links} link record(s)")
         parts.append(
-            f"<div class='warn'>&#9888; {analysis.dropped} span(s) were "
+            f"<div class='warn'>&#9888; {' and '.join(what)} were "
             "dropped from the recording ring buffer — this trace and every "
-            "number below are incomplete. Re-record with a larger span "
+            "number below are incomplete. Re-record with a larger "
             "capacity.</div>"
         )
     calls = analysis.calls()
@@ -200,6 +261,8 @@ def render_report(analysis: TraceAnalysis, title: str = "") -> str:
     parts.append(_timeline_section(analysis))
     parts.append("<h2>Communication volume</h2>")
     parts.append(_comm_section(analysis))
+    parts.append("<h2>Fabric links</h2>")
+    parts.append(_links_section(analysis))
     parts.append("<h2>Critical path</h2>")
     parts.append(_critical_path_section(analysis))
     phases = analysis.phase_breakdown()

@@ -1,5 +1,6 @@
-"""Rendering of experiment results: ASCII tables/grids/bars/timelines and
-inline-SVG timelines/heatmaps for the HTML report."""
+"""Rendering of experiment results: ASCII tables/grids/bars/timelines,
+the fabric weather map, and inline-SVG timelines/heatmaps for the HTML
+report."""
 
 from repro.reporting.ascii import (
     render_bars,
@@ -10,6 +11,7 @@ from repro.reporting.ascii import (
 from repro.reporting.export import grid_to_csv, results_to_json, to_jsonable
 from repro.reporting.svg import svg_heatmap, svg_timeline
 from repro.reporting.timeline import render_timeline
+from repro.reporting.weather import render_weather_map
 
 __all__ = [
     "render_table",
@@ -17,6 +19,7 @@ __all__ = [
     "render_bars",
     "render_series",
     "render_timeline",
+    "render_weather_map",
     "svg_timeline",
     "svg_heatmap",
     "grid_to_csv",

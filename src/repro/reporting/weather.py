@@ -1,0 +1,81 @@
+"""The network weather map: per-link utilization over time, in ASCII.
+
+One row per fabric link (a ``(port, class, direction)`` FIFO of the cost
+model), one column per time bin, one shade character per cell — darker
+means a busier link in that slice of virtual time.  The data comes from
+:meth:`repro.obs.analysis.TraceAnalysis.link_timeline`, so exact and
+hybrid traces of the same case paint the same map.
+
+Reading it: a uniformly dark row is a saturated link (raise its budget or
+spread its traffic); a dark *column* is a phase where many links were hot
+at once (a bursty exchange step); dark cells with a high ``wait`` column
+in the accompanying table are the contention hotspots the paper's
+algorithm selection is trying to route around.
+"""
+
+from __future__ import annotations
+
+from repro.utils.units import format_time
+
+#: Shade ramp, lightest to darkest; index = utilization * (len - 1).
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(fraction: float) -> str:
+    if fraction <= 0.0:
+        return _SHADES[0]
+    if fraction >= 1.0:
+        return _SHADES[-1]
+    # Any nonzero activity gets at least the first visible shade.
+    return _SHADES[max(1, int(fraction * (len(_SHADES) - 1) + 0.5))]
+
+
+def render_weather_map(timeline: dict, usage: list[dict] | None = None,
+                       max_rows: int = 40, title: str = "") -> str:
+    """Render one link-utilization timeline as an ASCII weather map.
+
+    ``timeline`` is :meth:`TraceAnalysis.link_timeline` output; ``usage``
+    (optional, :meth:`TraceAnalysis.link_usage` rows) appends per-row busy
+    and wait totals and orders the rows hottest-wait first.  At most
+    ``max_rows`` links are shown (the hottest ones when ``usage`` is
+    given, the first by key otherwise); a trailer says what was cut.
+    """
+    rows = timeline["rows"]
+    if not rows:
+        return (title + "\n" if title else "") + "(no link records)"
+    totals = None
+    if usage is not None:
+        totals = {(u["port"], u["cls"], u["direction"]): u for u in usage}
+        rows = sorted(rows, key=lambda r: (
+            -totals.get((r["port"], r["cls"], r["direction"]),
+                        {"wait": 0.0, "busy": 0.0})["wait"],
+            -totals.get((r["port"], r["cls"], r["direction"]),
+                        {"wait": 0.0, "busy": 0.0})["busy"],
+            r["port"], r["cls"], r["direction"],
+        ))
+    cut = len(rows) - max_rows
+    rows = rows[:max_rows]
+    width = max(len(r["link"]) for r in rows)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    span = format_time(timeline["t1"] - timeline["t0"])
+    lines.append(
+        f"{'link'.ljust(width)}  |{'time →'.ljust(timeline['bins'])}| "
+        f"({span} across {timeline['bins']} bins; shade = busy fraction)"
+    )
+    for r in rows:
+        cells = "".join(_shade(min(b, 1.0)) for b in r["busy"])
+        line = f"{r['link'].ljust(width)}  |{cells}|"
+        if totals is not None:
+            u = totals.get((r["port"], r["cls"], r["direction"]))
+            if u is not None:
+                line += (f" busy {format_time(u['busy'])}"
+                         f"  wait {format_time(u['wait'])}")
+        lines.append(line)
+    if cut > 0:
+        lines.append(f"… {cut} cooler links not shown")
+    return "\n".join(lines)
+
+
+__all__ = ["render_weather_map"]

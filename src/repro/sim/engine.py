@@ -464,6 +464,10 @@ class Engine:
         # record_messages flag because they are O(messages) in volume.
         self._obs_msg = self._obs if (self._obs is not None
                                       and octx.record_messages) else None
+        # Fabric link recorder (repro.obs.linkstats).  None unless the
+        # session opted into link recording: every port claim would record
+        # one tuple, so the disabled path must stay a single None check.
+        self._obs_link = octx.links if octx.enabled else None
 
     # ------------------------------------------------------------------ #
     # Event plumbing
@@ -914,6 +918,23 @@ class Engine:
             req.complete_time = tx_end
             req.arrival = arrival = tx_end + lat
             self._schedule_chained(ckey, arrival, _EV_DELIVER, req)
+            links = self._obs_link
+            if links is not None and ckey & 3:
+                # ckey packs (port index << 2) | class; self-sends have
+                # class 0 and claim no port time, so they fall through.
+                # Inlined LinkStatsRecorder.record: this is the exact
+                # engine's hottest path and a bound-method call per
+                # message would dominate the recording cost.
+                recs = links.records
+                if len(recs) == links.capacity:
+                    links.dropped += 1
+                pidx = ckey >> 2
+                recs.append((
+                    pidx if pidx < self.num_procs
+                    else self.num_procs - 1 - pidx,
+                    ckey & 3, 0, start, tx_end, tx_end - start, nbytes, 1,
+                    start - ready, self.activity,
+                ))
         else:
             # Rendezvous: the RTS travels now; data moves once matched.
             lat = net.latency(src, dst)
@@ -1090,14 +1111,47 @@ class Engine:
                     start = free[dst_node]
                     if ready > start:
                         start = ready
-                    ready = start + msg.tx_time
-                    free[dst_node] = ready
+                    end = start + msg.tx_time
+                    free[dst_node] = end
+                    links = self._obs_link
+                    if links is not None:
+                        # Inlined extraction-port record (see post_isend):
+                        # shared-NIC rx means inter-node, so the class is
+                        # 2 (same group) or 3 (cross-group) directly.
+                        recs = links.records
+                        if len(recs) == links.capacity:
+                            links.dropped += 1
+                        group_of = self._group_of
+                        recs.append((
+                            -1 - dst_node,
+                            2 if group_of[msg.owner] == group_of[msg.peer]
+                            else 3,
+                            1, start, end, end - start, msg.nbytes, 1,
+                            start - ready, self.activity,
+                        ))
+                    ready = end
                 else:
                     start = proc.rx_free
                     if ready > start:
                         start = ready
-                    ready = start + msg.tx_time
-                    proc.rx_free = ready
+                    end = start + msg.tx_time
+                    proc.rx_free = end
+                    links = self._obs_link
+                    if links is not None and msg.owner != msg.peer:
+                        recs = links.records
+                        if len(recs) == links.capacity:
+                            links.dropped += 1
+                        if node_of[msg.owner] == dst_node:
+                            cls = 1
+                        else:
+                            group_of = self._group_of
+                            cls = (2 if group_of[msg.owner]
+                                   == group_of[msg.peer] else 3)
+                        recs.append((
+                            msg.peer, cls, 1, start, end, end - start,
+                            msg.nbytes, 1, start - ready, self.activity,
+                        ))
+                    ready = end
             recv_req.complete_time = ready
             recv_req.payload = msg.payload
             recv_req.source_rank = msg.owner
@@ -1139,10 +1193,39 @@ class Engine:
             start = max(ready, self._node_tx_free[src_node])
             end = start + tx_time
             self._node_tx_free[src_node] = end
+            links = self._obs_link
+            if links is not None:
+                # Inlined record (see post_isend): the rendezvous CTS path
+                # claims one injection port per data message.  Shared-NIC
+                # means inter-node, so the class is 2 or 3 directly.
+                recs = links.records
+                if len(recs) == links.capacity:
+                    links.dropped += 1
+                group_of = self._group_of
+                recs.append((
+                    -1 - src_node,
+                    2 if group_of[proc.rank] == group_of[dst] else 3,
+                    0, start, end, end - start, nbytes, 1, start - ready,
+                    self.activity,
+                ))
             return end, self.num_procs + src_node
         start = max(ready, proc.tx_free)
         end = start + tx_time
         proc.tx_free = end
+        links = self._obs_link
+        if links is not None and proc.rank != dst:
+            recs = links.records
+            if len(recs) == links.capacity:
+                links.dropped += 1
+            if src_node == self._node_of[dst]:
+                cls = 1
+            else:
+                group_of = self._group_of
+                cls = 2 if group_of[proc.rank] == group_of[dst] else 3
+            recs.append((
+                proc.rank, cls, 0, start, end, end - start, nbytes, 1,
+                start - ready, self.activity,
+            ))
         return end, proc.rank
 
     def _extract(self, proc: _Proc, ready: float, nbytes: int, src: int) -> float:
@@ -1156,10 +1239,26 @@ class Engine:
             rx_start = max(ready, self._node_rx_free[dst_node])
             delivered = rx_start + rx_time
             self._node_rx_free[dst_node] = delivered
+            port = -1 - dst_node
         else:
             rx_start = max(ready, proc.rx_free)
             delivered = rx_start + rx_time
             proc.rx_free = delivered
+            port = proc.rank
+        links = self._obs_link
+        if links is not None and src != proc.rank:
+            recs = links.records
+            if len(recs) == links.capacity:
+                links.dropped += 1
+            if self._node_of[src] == dst_node:
+                cls = 1
+            else:
+                group_of = self._group_of
+                cls = 2 if group_of[src] == group_of[proc.rank] else 3
+            recs.append((
+                port, cls, 1, rx_start, delivered, delivered - rx_start,
+                nbytes, 1, rx_start - ready, self.activity,
+            ))
         return delivered
 
     def _finish_recv(self, proc: _Proc, recv_req: Request, msg: Request, when: float) -> None:

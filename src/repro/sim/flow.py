@@ -279,6 +279,71 @@ class _PortState:
         engine._node_rx_free = [float(v) for v in self.node_rx]
 
 
+class _LinkAccum:
+    """Per-batch fabric-traffic accumulator for the link recorder.
+
+    The flow replay never materializes individual messages, so link
+    recording aggregates instead: per ``(port, class, direction)`` it sums
+    busy seconds, bytes, messages, and contention wait over the whole
+    batch with :func:`np.bincount`, then :meth:`emit` writes one synthetic
+    :meth:`~repro.obs.linkstats.LinkStatsRecorder.record_batch` interval
+    per nonzero link.  Byte and message totals match the exact engine's
+    per-message records exactly (integer-valued sums); busy/wait seconds
+    can differ in the last ulp because the summation order differs.
+
+    Keys pack the engine's port index space (ranks ``0..p-1``, node ports
+    ``p + node``) with the link class: ``key = port * 4 + cls``.
+    """
+
+    __slots__ = ("p", "size", "busy", "nbytes", "wait", "msgs")
+
+    def __init__(self, nt: _NetTables) -> None:
+        self.p = nt.p
+        num_nodes = int(nt.node_of.max()) + 1
+        self.size = (nt.p + num_nodes) * 4
+        # Index 0 = tx (injection), 1 = rx (extraction), as in linkstats.
+        self.busy = np.zeros((2, self.size))
+        self.nbytes = np.zeros((2, self.size))
+        self.wait = np.zeros((2, self.size))
+        self.msgs = np.zeros((2, self.size))
+
+    def add(self, direction: int, ports, cls, busy, nbytes, wait) -> None:
+        keys = np.asarray(ports, dtype=np.int64).ravel() * 4 + \
+            np.asarray(cls, dtype=np.int64).ravel()
+
+        def weights(x):
+            x = np.asarray(x, dtype=float)
+            return np.broadcast_to(x, keys.shape) if x.ndim == 0 else x.ravel()
+
+        self.busy[direction] += np.bincount(keys, weights=weights(busy),
+                                            minlength=self.size)
+        self.nbytes[direction] += np.bincount(keys, weights=weights(nbytes),
+                                              minlength=self.size)
+        self.wait[direction] += np.bincount(keys, weights=weights(wait),
+                                            minlength=self.size)
+        self.msgs[direction] += np.bincount(keys, minlength=self.size)
+
+    def emit(self, recorder, start: float, end: float,
+             activity: str | None) -> None:
+        p = self.p
+        for direction in (0, 1):
+            idx = np.flatnonzero(self.msgs[direction])
+            if not idx.size:
+                continue
+            # Bulk-convert once: per-element numpy scalar boxing would
+            # dominate the whole write-back on wide platforms.
+            busy = self.busy[direction][idx].tolist()
+            nbytes = self.nbytes[direction][idx].tolist()
+            wait = self.wait[direction][idx].tolist()
+            msgs = self.msgs[direction][idx].tolist()
+            for i, key in enumerate(idx.tolist()):
+                port = key >> 2
+                recorder.record_batch(
+                    port if port < p else p - 1 - port, key & 3, direction,
+                    start, end, busy[i], nbytes[i], int(msgs[i]), wait[i],
+                    activity)
+
+
 # --------------------------------------------------------------------- #
 # Exact sequential port chains, vectorized
 # --------------------------------------------------------------------- #
@@ -322,7 +387,8 @@ def _seq_chain(a: np.ndarray, t: np.ndarray, free0: float) -> tuple[np.ndarray, 
 
 
 def _replay_stepped(
-    plan: FlowPlan, nt: _NetTables, state: _PortState, entries: np.ndarray
+    plan: FlowPlan, nt: _NetTables, state: _PortState, entries: np.ndarray,
+    accum: _LinkAccum | None = None,
 ) -> np.ndarray:
     """Replay a stepped exchange phase; returns per-rank exit times.
 
@@ -369,6 +435,9 @@ def _replay_stepped(
             node_tx[node_r[shared_o]] = tx_end[shared_o]
         else:
             tx = tx_end
+        if accum is not None:
+            ports = np.where(shared_o, p + node_r, ranks) if shared else ranks
+            accum.add(0, ports, cls, tx_time, sbytes, tx_start - claim_ready)
         # Receiver side: rank r's inbound message comes from src[r]; its
         # sender-side quantities are gathers of the arrays above.
         arrival_in = tx_end[src] + lat[src]
@@ -387,6 +456,13 @@ def _replay_stepped(
                 node_rx[node_r[shared_i]] = delivered[shared_i]
             else:
                 rx = delivered
+            if accum is not None:
+                ports = (np.where(shared_i, p + node_r, ranks)
+                         if shared else ranks)
+                accum.add(1, ports, cls[src], rx_time_in,
+                          np.broadcast_to(np.asarray(sbytes, dtype=float),
+                                          (p,))[src],
+                          rx_start - a_val)
         else:
             delivered = a_val
         now = np.maximum(np.maximum(now, tx_end), delivered)
@@ -400,6 +476,7 @@ def _replay_linear(
     state: _PortState,
     entries: np.ndarray,
     order: np.ndarray,
+    accum: _LinkAccum | None = None,
 ) -> np.ndarray:
     """Replay the basic-linear alltoall phase; returns per-rank exit times.
 
@@ -501,6 +578,15 @@ def _replay_linear(
                     tx_end_flat[sel_flat[b0:b1]] = ends
                     state.node_tx[node] = last
 
+    if accum is not None:
+        # The chains only surface end times, so the aggregate reconstructs
+        # start = end - tx_time; wait can differ from the exact engine's in
+        # the last ulp (clamped at zero), while bytes/messages are exact.
+        tx_ports = np.where(shared_elem, p + nod_s,
+                            np.broadcast_to(src_col, (p, m)))
+        accum.add(0, tx_ports, cls, tx_time, plan.msg_bytes,
+                  np.maximum(tx_end - tx_time - ready, 0.0))
+
     # --- deliveries: extraction-port claims in (arrival, seq) order ---
     arrival = tx_end + lat
     recv_idx = (src_col - (src_col > dst)).astype(np.int32)
@@ -532,6 +618,9 @@ def _replay_linear(
             else:
                 state.node_rx[res - p] = last
         delivered = delivered_f.reshape(p, m)
+        if accum is not None:
+            accum.add(1, res_id, cls, tx_time, plan.msg_bytes,
+                      np.maximum(delivered - tx_time - a_val, 0.0))
     else:
         delivered = a_val
 
@@ -616,12 +705,16 @@ class FlowGate:
                     "--engine-mode flow to accept an analytic approximation"
                 )
         state = _PortState(engine)
+        accum = _LinkAccum(nt) if engine._obs_link is not None else None
         if plan.kind == "linear":
             order = np.array(self.order, dtype=np.int64)
-            exits = _replay_linear(plan, nt, state, entries, order)
+            exits = _replay_linear(plan, nt, state, entries, order, accum)
         else:
-            exits = _replay_stepped(plan, nt, state, entries)
+            exits = _replay_stepped(plan, nt, state, entries, accum)
         state.write_back(engine)
+        if accum is not None:
+            accum.emit(engine._obs_link, float(entries.min()),
+                       float(exits.max()), engine.activity)
         if cfg.payloads and self.result_fn is not None:
             results = self.result_fn(self.data)
         else:
@@ -689,9 +782,11 @@ class FlowRuntime:
             return None
         fn = _DESCRIPTORS.get((collective, algorithm))
         if fn is None:
+            self._count_fallback(ctx, "no_plan", 0)
             return None
         plan = fn(p, args, engine.network)
         if plan is None:
+            self._count_fallback(ctx, "no_plan", 0)
             return None
         cfg = self.config
         nt = self.net_tables
@@ -716,17 +811,32 @@ class FlowRuntime:
                 reason = "shared_contention"
         if reason is not None:
             if ctx.rank == 0:        # count once per collective call
+                # The plain attributes keep their original semantics (a plan
+                # existed but fell back); the labeled obs counters also see
+                # "no_plan" calls from the early returns above.
                 self.fallback_calls += 1
                 self.fallback_messages += plan.est_messages
-                octx = _obs_current()
-                if octx.enabled:
-                    octx.metrics.counter("flow.fallback_calls").inc()
-                    octx.metrics.counter("flow.fallback_messages").inc(
-                        plan.est_messages
-                    )
+            self._count_fallback(ctx, "spread" if reason == "skew" else reason,
+                                 plan.est_messages)
             return None
         signature = (collective, algorithm, p, args.count, args.msg_bytes, args.tag)
         return self._flow_body(ctx, plan, signature, result_fn, data)
+
+    def _count_fallback(self, ctx, reason: str, est_messages: int) -> None:
+        """Count one fallback-to-exact decision under its reason label.
+
+        Counted once per collective call (at rank 0) so the totals read as
+        calls, not call × ranks.  ``est_messages`` is zero when no plan
+        exists to estimate from (``reason="no_plan"``).
+        """
+        if ctx.rank != 0:
+            return
+        octx = _obs_current()
+        if not octx.enabled:
+            return
+        labels = {"reason": reason}
+        octx.metrics.counter("flow.fallback_calls", labels).inc()
+        octx.metrics.counter("flow.fallback_messages", labels).inc(est_messages)
 
     def _single_port_owner(self, plan: FlowPlan, args) -> bool:
         """Whether every shared node port has at most one claiming rank.

@@ -146,7 +146,8 @@ class TestDroppedSpanAccounting:
         trace = load_perfetto(export_perfetto(tmp_path / "t.json", octx))
         assert trace["otherData"]["dropped_spans"] == 3
         back = read_jsonl(export_jsonl(tmp_path / "t.jsonl", octx))
-        assert back["end"] == {"spans": 2, "dropped": 3}
+        assert back["end"] == {"spans": 2, "dropped": 3,
+                               "links": 0, "dropped_links": 0}
 
 
 class TestRunIdStamping:
