@@ -12,6 +12,14 @@ decision source, in priority order:
 3. the Open-MPI-style fixed decision logic.
 
 This closes the loop: trace -> tune -> deploy table -> run application.
+
+The compute/phase loop itself lives in :mod:`repro.workloads.spec` — this
+app routes through :func:`~repro.workloads.spec.iteration_body`, so it
+supports every workload overlap mode (``sequential``/``split``/
+``interleaved``) and vector-collective phases.  :class:`Phase` is a
+deprecation shim kept for callers of the original API; new code should use
+:class:`~repro.workloads.spec.CollectivePhase` (same fields) or a full
+:class:`~repro.workloads.spec.WorkloadSpec` directly.
 """
 
 from __future__ import annotations
@@ -21,27 +29,24 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.collectives import CollArgs, make_input, run_collective
-from repro.collectives.tuned import fixed_decision
 from repro.selection.table import SelectionTable
 from repro.sim.mpi import run_processes
 from repro.sim.network import NetworkParams
 from repro.sim.noise import NoiseModel
 from repro.sim.platform import MachineSpec, Platform
+from repro.workloads.runner import resolve_algorithm as _resolve
+from repro.workloads.spec import (
+    OVERLAP_MODES,
+    CollectivePhase,
+    WorkloadSpec,
+    build_plan,
+    iteration_body,
+)
 
-
-@dataclass(frozen=True)
-class Phase:
-    """One collective phase of a timestep."""
-
-    collective: str
-    msg_bytes: float
-    count: int = 32
-    algorithm: str | None = None  # None -> resolve via table / fixed rules
-
-    def __post_init__(self) -> None:
-        if self.msg_bytes < 0 or self.count <= 0:
-            raise ConfigurationError("invalid phase parameters")
+#: Deprecation shim: ``Phase`` predates the workloads subsystem and is now
+#: the same value object (field-compatible: ``Phase(collective, msg_bytes,
+#: count=..., algorithm=...)``).
+Phase = CollectivePhase
 
 
 @dataclass
@@ -66,12 +71,18 @@ class MixedProxyApp:
     params: NetworkParams = field(default_factory=NetworkParams)
     noise: NoiseModel | None = None
     table: SelectionTable | None = None
+    overlap: str = "sequential"
 
     def __post_init__(self) -> None:
         if not self.phases:
             raise ConfigurationError("need at least one phase")
         if self.iterations <= 0:
             raise ConfigurationError("iterations must be positive")
+        if self.overlap not in OVERLAP_MODES:
+            raise ConfigurationError(
+                f"unknown overlap mode {self.overlap!r}; "
+                f"expected one of {OVERLAP_MODES}"
+            )
 
     @classmethod
     def from_machine(cls, spec: MachineSpec, phases, nodes=None,
@@ -87,44 +98,38 @@ class MixedProxyApp:
 
     def resolve_algorithm(self, phase: Phase) -> str:
         """Priority: explicit -> selection table -> fixed decision logic."""
-        if phase.algorithm is not None:
-            return phase.algorithm
-        p = self.platform.num_ranks
-        if self.table is not None:
-            try:
-                return self.table.lookup(phase.collective, p, phase.msg_bytes)
-            except ConfigurationError:
-                pass  # no rules for this collective/comm size: fall through
-        return fixed_decision(phase.collective, p, phase.msg_bytes)
+        return _resolve(phase, self.platform.num_ranks, self.table)
+
+    def to_workload(self, name: str = "mixed") -> WorkloadSpec:
+        """This app's loop as a declarative workload spec."""
+        return WorkloadSpec(
+            name=name,
+            phases=tuple(self.phases),
+            iterations=self.iterations,
+            warmup=0,
+            compute=self.compute_per_iteration,
+            overlap=self.overlap,
+            description="mixed-collective proxy application",
+        )
 
     def run(self) -> MixedAppResult:
         p = self.platform.num_ranks
-        plan = []
-        resolved: dict[str, str] = {}
-        for idx, phase in enumerate(self.phases):
-            algorithm = self.resolve_algorithm(phase)
-            key = f"{phase.collective}@{int(phase.msg_bytes)}B"
-            resolved[key] = algorithm
-            args = CollArgs(count=phase.count, msg_bytes=phase.msg_bytes,
-                            tag=10_000 + 97 * idx)
-            inputs = [make_input(phase.collective, r, p, phase.count)
-                      for r in range(p)]
-            plan.append((key, phase.collective, algorithm, args, inputs))
+        plan = build_plan(self.phases, p, self.resolve_algorithm)
+        resolved = {key: algorithm for key, _c, algorithm, _a, _i in plan}
         compute = self.compute_per_iteration
         iterations = self.iterations
+        overlap = self.overlap
 
         def prog(ctx):
             me = ctx.rank
+            my_plan = [(key, coll, algo, args, inputs[me])
+                       for key, coll, algo, args, inputs in plan]
             phase_time = {key: 0.0 for key, *_ in plan}
             yield from ctx.barrier()
             start = ctx.time()
             for _it in range(iterations):
-                yield ctx.compute(compute)
-                for key, collective, algorithm, args, inputs in plan:
-                    before = ctx.time()
-                    yield from run_collective(ctx, collective, algorithm,
-                                              args, inputs[me])
-                    phase_time[key] += ctx.time() - before
+                yield from iteration_body(ctx, my_plan, compute, overlap,
+                                          phase_time)
             return ctx.time() - start, phase_time
 
         run = run_processes(self.platform, prog, params=self.params,

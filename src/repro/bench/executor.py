@@ -116,6 +116,10 @@ class CellSpec:
     segment_bytes: float | None = None
     engine_mode: str = "exact"
     flow_tolerance: float = 0.0
+    # Vector-collective count schedule (None for regular collectives): a
+    # length-p tuple, or a (p, p) tuple-of-tuples for alltoallv.
+    counts: tuple | None = None
+    item_bytes: float = 8.0
 
     @classmethod
     def from_bench(
@@ -130,14 +134,20 @@ class CellSpec:
         """Capture one ``bench.run(...)`` call as a value object."""
         from dataclasses import asdict
 
-        unknown = set(run_kwargs) - {"op", "segment_bytes"}
+        unknown = set(run_kwargs) - {"op", "segment_bytes", "counts",
+                                     "item_bytes"}
         if unknown:
             raise ConfigurationError(
                 f"cannot serialize bench.run kwargs {sorted(unknown)}; "
-                "supported: op, segment_bytes"
+                "supported: op, segment_bytes, counts, item_bytes"
             )
         op = run_kwargs.get("op")
         segment_bytes = run_kwargs.get("segment_bytes")
+        counts = run_kwargs.get("counts")
+        if counts is not None:
+            from repro.bench.micro import freeze_counts
+
+            counts = freeze_counts(counts)
         return cls(
             platform_name=bench.platform.name,
             nodes=bench.platform.nodes,
@@ -159,6 +169,8 @@ class CellSpec:
             segment_bytes=float(segment_bytes) if segment_bytes is not None else None,
             engine_mode=bench.engine_mode,
             flow_tolerance=bench.flow_tolerance,
+            counts=counts,
+            item_bytes=float(run_kwargs.get("item_bytes", 8.0)),
         )
 
     def make_bench(self) -> "MicroBenchmark":
@@ -200,6 +212,8 @@ class CellSpec:
             pattern,
             op=get_op(self.op),
             segment_bytes=self.segment_bytes,
+            counts=self.counts,
+            item_bytes=self.item_bytes,
         )
 
     # -- hashing ------------------------------------------------------- #
@@ -232,6 +246,13 @@ class CellSpec:
         if self.engine_mode != "exact":
             d["engine_mode"] = self.engine_mode
             d["flow_tolerance"] = self.flow_tolerance
+        # Same stability rule for vector cells: regular-collective keys are
+        # untouched by the counts extension.
+        if self.counts is not None:
+            d["counts"] = [list(row) for row in self.counts] \
+                if self.counts and isinstance(self.counts[0], tuple) \
+                else list(self.counts)
+            d["item_bytes"] = self.item_bytes
         return d
 
     def cache_key(self) -> str:

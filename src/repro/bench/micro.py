@@ -24,7 +24,13 @@ from repro.bench.results import BenchResult
 from repro.clocks.harmonize import harmonize
 from repro.clocks.local import ClockSet
 from repro.clocks.sync import sync_clocks
-from repro.collectives import CollArgs, make_input, run_collective
+from repro.collectives import (
+    CollArgs,
+    VectorArgs,
+    make_input,
+    make_vector_input,
+    run_collective,
+)
 from repro.collectives.ops import SUM, ReduceOp
 from repro.obs.context import current as _obs_current
 from repro.patterns.generator import ArrivalPattern, no_delay_pattern
@@ -33,6 +39,21 @@ from repro.sim.mpi import run_processes
 from repro.sim.network import NetworkParams
 from repro.sim.noise import NoiseModel, get_noise_profile
 from repro.sim.platform import MachineSpec, Platform
+
+
+def freeze_counts(counts) -> tuple:
+    """Normalize a count schedule to a hashable tuple (of tuples).
+
+    Accepts lists, tuples, or numpy arrays — 1-D (per-rank counts) or 2-D
+    (alltoallv per-pair matrix) — and returns the canonical form used by
+    :class:`~repro.collectives.VectorArgs` and cell-spec serialization.
+    """
+    arr = np.asarray(counts, dtype=int)
+    if arr.ndim == 1:
+        return tuple(int(c) for c in arr)
+    if arr.ndim == 2:
+        return tuple(tuple(int(c) for c in row) for row in arr)
+    raise ConfigurationError(f"counts must be 1-D or 2-D, got shape {arr.shape}")
 
 
 @dataclass
@@ -120,8 +141,16 @@ class MicroBenchmark:
         pattern: ArrivalPattern | None = None,
         op: ReduceOp = SUM,
         segment_bytes: float | None = None,
+        counts: tuple | None = None,
+        item_bytes: float = 8.0,
     ) -> BenchResult:
-        """Benchmark one algorithm under one arrival pattern."""
+        """Benchmark one algorithm under one arrival pattern.
+
+        For vector collectives pass ``counts`` (a length-p vector, or a
+        (p, p) matrix for alltoallv) plus ``item_bytes``; the reported
+        ``msg_bytes`` coordinate is then the mean per-block wire size
+        (``VectorArgs.msg_bytes``) regardless of the value passed.
+        """
         p = self.num_ranks
         if pattern is None:
             pattern = no_delay_pattern(p)
@@ -129,13 +158,20 @@ class MicroBenchmark:
             raise ConfigurationError(
                 f"pattern has {pattern.num_ranks} ranks, platform has {p}"
             )
-        args = CollArgs(
-            count=self.count,
-            msg_bytes=float(msg_bytes),
-            op=op,
-            segment_bytes=segment_bytes,
-        )
-        inputs = [make_input(collective, r, p, self.count) for r in range(p)]
+        if counts is not None:
+            args = VectorArgs(counts=freeze_counts(counts),
+                              item_bytes=float(item_bytes))
+            inputs = [make_vector_input(collective, r, p, args)
+                      for r in range(p)]
+            msg_bytes = args.msg_bytes
+        else:
+            args = CollArgs(
+                count=self.count,
+                msg_bytes=float(msg_bytes),
+                op=op,
+                segment_bytes=segment_bytes,
+            )
+            inputs = [make_input(collective, r, p, self.count) for r in range(p)]
         synced = self.clock_mode == "synced"
         clockset = ClockSet(p, seed=self.seed) if synced else None
         noise = (

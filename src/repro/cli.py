@@ -281,6 +281,68 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="DIR",
                        help="cache directory (default: $REPRO_CACHE_DIR)")
 
+    pwl = sub.add_parser(
+        "workload",
+        help="workload zoo: list/describe/run built-in scenarios, replay a "
+        "recorded trace as a workload, or contend several jobs on one fabric",
+    )
+    wl_sub = pwl.add_subparsers(dest="workload_cmd", required=True)
+    wl_sub.add_parser("list", help="registered workload generators")
+    wld = wl_sub.add_parser(
+        "describe", help="show a workload's phases for a given rank count"
+    )
+    wld.add_argument("name")
+    wld.add_argument("--ranks", type=int, default=8,
+                     help="communicator size the generator targets")
+    wld.add_argument("--fast", action="store_true",
+                     help="the shrunken variant (what CI smoke runs)")
+    wld.add_argument("--seed", type=int, default=0)
+    wld.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the full spec as JSON")
+    wlr = wl_sub.add_parser(
+        "run",
+        help="run one workload: loop simulation + per-phase cells through "
+        "the executor/cache/store pipeline",
+    )
+    _add_common(wlr, machine_default="simcluster", nodes_default=4)
+    wlr.add_argument("name", help="a registered workload (see workload list)")
+    wlr.add_argument("--shape", default=None,
+                     help="impose an arrival-pattern shape on the measured "
+                     "loop and the phase cells (see fig3)")
+    wlr.add_argument("--max-skew", type=float, default=1e-4, dest="max_skew",
+                     help="pattern max skew in seconds (with --shape)")
+    wlr.add_argument("--store", default=None, metavar="DB",
+                     help="ingest the phase cells into this tuning store")
+    wlr.add_argument("--no-cells", action="store_true", dest="no_cells",
+                     help="loop simulation only; skip the executor fan-out")
+    wlp = wl_sub.add_parser(
+        "replay",
+        help="reconstruct a workload + arrival pattern from a recorded "
+        "trace (Perfetto JSON or JSONL) and re-run it",
+    )
+    _add_common(wlp, machine_default="simcluster", nodes_default=4)
+    wlp.add_argument("trace", help="trace file written by --trace-out")
+    wlp.add_argument("--name", default=None, help="name for the replayed spec")
+    wlp.add_argument("--max-iterations", type=int, default=None,
+                     dest="max_iterations",
+                     help="cap the replayed iteration count")
+    wlp.add_argument("--store", default=None, metavar="DB",
+                     help="ingest the phase cells into this tuning store")
+    wlp.add_argument("--no-cells", action="store_true", dest="no_cells")
+    wlp.add_argument("--dry-run", action="store_true", dest="dry_run",
+                     help="print the reconstructed spec without running it")
+    wlc = wl_sub.add_parser(
+        "contend",
+        help="run >= 2 workloads concurrently on one fabric; ranks "
+        "interleave so jobs share node NICs",
+    )
+    _add_common(wlc, machine_default="simcluster", nodes_default=4)
+    wlc.add_argument("names", nargs="+",
+                     help="registered workloads, one per job")
+    wlc.add_argument("--links", action="store_true",
+                     help="record per-link telemetry and print the per-job "
+                     "contention attribution")
+
     pprof = sub.add_parser(
         "profile",
         help="run one fully instrumented benchmark cell: ASCII per-rank "
@@ -679,6 +741,153 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    import json
+    from dataclasses import replace as _dc_replace
+
+    from repro import workloads
+    from repro.reporting.ascii import render_table
+    from repro.utils.units import format_time
+
+    cmd = args.workload_cmd
+    if cmd == "list":
+        rows = [(info.name, info.description)
+                for info in workloads.list_workloads()]
+        print(render_table(["workload", "description"], rows,
+                           title=f"workload zoo ({len(rows)} registered)"))
+        return 0
+    if cmd == "describe":
+        spec = workloads.build_workload(args.name, args.ranks,
+                                        fast=args.fast, seed=args.seed)
+        if args.as_json:
+            print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+            return 0
+        print(f"{spec.name}: {spec.description}")
+        print(f"  {args.ranks} ranks, {spec.iterations} iterations "
+              f"(+{spec.warmup} warmup), overlap {spec.overlap}, "
+              f"compute {spec.compute:g} s/iteration")
+        rows = []
+        for ph in spec.phases:
+            if ph.is_vector:
+                kind = ("(p,p) matrix" if isinstance(ph.counts[0], tuple)
+                        else "length-p counts")
+                schedule = f"{kind}, ~{int(ph.effective_msg_bytes)} B/block"
+            else:
+                schedule = f"{int(ph.msg_bytes)} B"
+            rows.append((ph.key, ph.collective, schedule,
+                         ph.algorithm or "<resolved at run time>"))
+        print(render_table(["phase", "collective", "schedule", "algorithm"],
+                           rows))
+        return 0
+
+    config = _config(args)
+    bench = config.make_bench()
+    if cmd == "contend":
+        p_total = bench.num_ranks
+        njobs = len(args.names)
+        specs = [
+            workloads.build_workload(
+                name, len(range(j, p_total, njobs)),
+                fast=config.fast, seed=config.seed + j)
+            for j, name in enumerate(args.names)
+        ]
+        result = workloads.run_contended(specs, bench)
+        print(f"contended {njobs} jobs on {p_total} ranks "
+              f"({config.machine}); fabric drained at "
+              f"{format_time(result.final_time)}")
+        for job in result.jobs:
+            dominant = max(job.phase_mpi_time, key=job.phase_mpi_time.get)
+            print(f"  {job.label}: {len(job.ranks)} ranks, runtime "
+                  f"{format_time(job.runtime)}, dominant phase {dominant}")
+        if result.attribution:
+            print("link wait attribution by job:")
+            for name, wait in sorted(result.wait_by_job().items(),
+                                     key=lambda kv: -kv[1]):
+                print(f"  {name}: {format_time(wait)}")
+        elif args.links:
+            print("no link records captured (self-sends only?)")
+        if args.json:
+            payload = {
+                "final_time": result.final_time,
+                "jobs": [{"label": j.label, "ranks": list(j.ranks),
+                          "runtime": j.runtime, "resolved": j.resolved,
+                          "phase_mpi_time": j.phase_mpi_time}
+                         for j in result.jobs],
+                "attribution": result.attribution,
+                "wait_by_job": result.wait_by_job(),
+            }
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            print(f"wrote json: {args.json}")
+        return 0
+
+    # run / replay
+    if cmd == "run":
+        spec = workloads.build_workload(args.name, bench.num_ranks,
+                                        fast=config.fast, seed=config.seed)
+        pattern = None
+        if args.shape:
+            from repro.patterns.generator import generate_pattern
+
+            pattern = generate_pattern(args.shape, bench.num_ranks,
+                                       args.max_skew, seed=config.seed)
+    else:  # replay
+        spec = workloads.workload_from_trace(args.trace, name=args.name,
+                                             max_iterations=args.max_iterations)
+        pattern = None
+        if args.dry_run:
+            print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+            return 0
+        if spec.pattern is not None:
+            p = len(spec.pattern.skews)
+            if bench.num_ranks != p:
+                cores = config.cores_per_node
+                if p >= cores and p % cores == 0:
+                    config = _dc_replace(config, nodes=p // cores)
+                else:
+                    config = _dc_replace(config, nodes=p, cores_per_node=1)
+                bench = config.make_bench()
+                print(f"platform resized to the trace's {p} ranks",
+                      file=sys.stderr)
+    executor = None
+    if not args.no_cells:
+        from repro.bench.executor import CellExecutor
+
+        executor = CellExecutor.from_env(
+            jobs=config.jobs if config.jobs != 1 else None,
+            cache_dir=config.cache_dir, store=args.store)
+    try:
+        result = workloads.run_workload(spec, bench, executor=executor,
+                                        pattern=pattern,
+                                        cells=not args.no_cells)
+    finally:
+        if executor is not None:
+            executor.close()
+    print(f"{spec.name}: {spec.description}" if spec.description
+          else spec.name)
+    pattern_note = ""
+    if pattern is not None:
+        pattern_note = f", pattern {pattern.name}"
+    elif spec.pattern is not None:
+        pattern_note = f", pattern {spec.pattern.name}"
+    print(f"  {bench.num_ranks} ranks on {config.machine}, "
+          f"{spec.iterations} iteration(s) (+{spec.warmup} warmup), "
+          f"overlap {spec.overlap}{pattern_note}")
+    print(f"  runtime {format_time(result.runtime)}, dominant phase "
+          f"{result.dominant_phase}")
+    for key, algorithm in result.resolved.items():
+        mpi = result.phase_mpi_time.get(key, 0.0)
+        print(f"    {key}: {algorithm}, MPI time {format_time(mpi)}")
+    if result.cell_results:
+        print(f"  {len(result.cell_results)} phase cell(s) through the "
+              f"executor" + (f" -> store {args.store}" if args.store else ""))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote json: {args.json}")
+    return 0
+
+
 def _dispatch(command: str, args: argparse.Namespace) -> int:
     if command == "table1":
         print(tables.table1())
@@ -806,6 +1015,8 @@ def _dispatch(command: str, args: argparse.Namespace) -> int:
         return _cmd_lint_store(args)
     elif command == "cache":
         return _cmd_cache(args)
+    elif command == "workload":
+        return _cmd_workload(args)
     elif command == "profile":
         return _cmd_profile(args)
     elif command == "report":
@@ -839,8 +1050,7 @@ def main(argv: list[str] | None = None) -> int:
         with obs.session(meta={"command": command},
                          record_spans=bool(trace_out),
                          record_messages=(command == "profile"),
-                         record_links=(command == "profile"
-                                       and getattr(args, "links", False))
+                         record_links=getattr(args, "links", False)
                          ) as octx:
             code = _dispatch(command, args)
     else:

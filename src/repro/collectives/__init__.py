@@ -25,7 +25,13 @@ from repro.collectives.base import (
     register,
 )
 from repro.collectives.ops import MAX, MIN, PROD, SUM, ReduceOp
-from repro.collectives.api import make_input, reference_result, run_collective
+from repro.collectives.api import (
+    VECTOR_FAMILIES,
+    make_input,
+    make_vector_input,
+    reference_result,
+    run_collective,
+)
 
 # Importing the algorithm modules populates the registry.
 from repro.collectives import (  # noqa: E402,F401  (import-for-side-effect)
@@ -58,7 +64,9 @@ __all__ = [
     "list_algorithms",
     "list_collectives",
     "make_input",
+    "make_vector_input",
     "reference_result",
     "run_collective",
+    "VECTOR_FAMILIES",
     "VectorArgs",
 ]

@@ -17,8 +17,12 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.collectives.base import CollArgs, get_algorithm
+from repro.collectives.vector import VectorArgs
 from repro.obs.context import current as _obs_current
 from repro.sim.mpi import ProcContext
+
+#: Families taking :class:`VectorArgs` (irregular counts) instead of CollArgs.
+VECTOR_FAMILIES = ("alltoallv", "allgatherv", "gatherv", "scatterv")
 
 
 def make_input(
@@ -43,7 +47,37 @@ def make_input(
     raise ConfigurationError(f"unknown collective family {collective!r}")
 
 
-def run_collective(ctx: ProcContext, collective: str, algorithm: str, args: CollArgs, data):
+def make_vector_input(
+    collective: str, rank: int, size: int, args: VectorArgs, dtype=np.int64
+):
+    """Deterministic input for a vector collective following its data convention.
+
+    Values encode ``(source rank, destination block, index)`` so misplaced
+    blocks are recognizable in failures, mirroring :func:`make_input`.
+    """
+    if collective == "alltoallv":
+        counts = args.matrix(size)
+        return [
+            (np.arange(counts[rank][dst]) + 100_000 * rank + 1000 * dst + 1)
+            .astype(dtype)
+            for dst in range(size)
+        ]
+    if collective in ("allgatherv", "gatherv"):
+        counts = args.vector(size)
+        return (np.arange(counts[rank]) + 1000 * rank + 1).astype(dtype)
+    if collective == "scatterv":
+        counts = args.vector(size)
+        if rank != args.root:
+            return None
+        return [
+            (np.arange(counts[dst]) + 1000 * dst + 1).astype(dtype)
+            for dst in range(size)
+        ]
+    raise ConfigurationError(f"unknown vector collective family {collective!r}")
+
+
+def run_collective(ctx: ProcContext, collective: str, algorithm: str, args: CollArgs,
+                   data, label: str | None = None):
     """Generator: run one collective algorithm on this rank; returns its result.
 
     When an observability session is open this is the canonical
@@ -56,32 +90,47 @@ def run_collective(ctx: ProcContext, collective: str, algorithm: str, args: Coll
     eligible under the dispatch rules, the call is collapsed into one flow
     batch instead of per-message simulation; the span/counter semantics are
     identical either way.
+
+    ``label`` overrides the activity string attached to fabric link records
+    (default ``"{collective}/{algorithm}"``); multi-job runs use it to keep
+    per-job traffic apart in link attribution.  The span name is always the
+    plain ``"{collective}/{algorithm}"`` so call reconstruction is uniform.
     """
     info = get_algorithm(collective, algorithm)
     engine = ctx.engine
-    engine.activity = f"{collective}/{algorithm}"
-    body = None
-    runtime = engine.flow_runtime
-    if runtime is not None:
-        body = runtime.dispatch(
-            ctx, collective, algorithm, args, data,
-            _flow_result_fn(collective, args),
+    activity = label if label is not None else f"{collective}/{algorithm}"
+    engine.activity = activity
+    fiber = getattr(ctx, "_fiber", None)
+    prev_activity = fiber.activity if fiber is not None else None
+    if fiber is not None:
+        fiber.activity = activity
+    try:
+        body = None
+        runtime = engine.flow_runtime
+        if runtime is not None:
+            body = runtime.dispatch(
+                ctx, collective, algorithm, args, data,
+                _flow_result_fn(collective, args),
+            )
+        if body is None:
+            body = info.fn(ctx, args, data)
+        octx = _obs_current()
+        if not octx.enabled:
+            return (yield from body)
+        octx.metrics.counter(f"collective.calls.{collective}.{algorithm}").inc()
+        if not octx.record_spans:
+            return (yield from body)
+        arrival = ctx.time()
+        result = yield from body
+        octx.record_rank_span(
+            f"{collective}/{algorithm}", getattr(ctx, "obs_rank", ctx.rank),
+            arrival, ctx.time(), args={"msg_bytes": args.msg_bytes},
         )
-    if body is None:
-        body = info.fn(ctx, args, data)
-    octx = _obs_current()
-    if not octx.enabled:
-        return (yield from body)
-    octx.metrics.counter(f"collective.calls.{collective}.{algorithm}").inc()
-    if not octx.record_spans:
-        return (yield from body)
-    arrival = ctx.time()
-    result = yield from body
-    octx.record_rank_span(
-        f"{collective}/{algorithm}", ctx.rank, arrival, ctx.time(),
-        args={"msg_bytes": args.msg_bytes},
-    )
-    return result
+        return result
+    finally:
+        if fiber is not None:
+            fiber.activity = prev_activity
+            engine.activity = prev_activity
 
 
 def _flow_result_fn(collective: str, args: CollArgs):
@@ -154,7 +203,23 @@ def reference_result(
         return acc
     if collective == "barrier":
         return None
+    if collective == "alltoallv":
+        return [np.asarray(inputs[src][rank]) for src in range(size)]
+    if collective == "allgatherv":
+        return [np.asarray(inputs[src]) for src in range(size)]
+    if collective == "gatherv":
+        if rank != args.root:
+            return None
+        return [np.asarray(inputs[src]) for src in range(size)]
+    if collective == "scatterv":
+        return np.asarray(inputs[args.root][rank])
     raise ConfigurationError(f"unknown collective family {collective!r}")
 
 
-__all__ = ["make_input", "run_collective", "reference_result"]
+__all__ = [
+    "VECTOR_FAMILIES",
+    "make_input",
+    "make_vector_input",
+    "run_collective",
+    "reference_result",
+]

@@ -70,6 +70,16 @@ def fixed_decision(collective: str, comm_size: int, msg_bytes: float) -> str:
         return "bruck" if comm_size <= 64 else "recursive_doubling"
     if collective in ("scan", "exscan"):
         return "recursive_doubling" if comm_size > 4 else "linear"
+    if collective == "alltoallv":
+        # OMPI's dec_fixed uses basic_linear for small communicators and
+        # pairwise otherwise; msg_bytes here is the mean per-block size.
+        return "basic_linear" if comm_size <= 8 or msg_bytes <= 3000 else "pairwise"
+    if collective == "allgatherv":
+        if comm_size <= 2 or msg_bytes <= 8192:
+            return "linear"
+        return "ring"
+    if collective in ("gatherv", "scatterv"):
+        return "linear"
     raise ConfigurationError(f"no fixed decision logic for {collective!r}")
 
 
@@ -77,7 +87,8 @@ def validate_fixed_decisions(comm_sizes=(2, 4, 13, 32, 64, 128),
                              sizes=(1, 256, 4096, 65536, 1 << 20, 1 << 24)) -> None:
     """Assert every decision resolves to a registered algorithm (self-check)."""
     for coll in ("alltoall", "allreduce", "reduce", "bcast", "allgather",
-                 "gather", "scatter", "reduce_scatter", "barrier", "scan", "exscan"):
+                 "gather", "scatter", "reduce_scatter", "barrier", "scan",
+                 "exscan", "alltoallv", "allgatherv", "gatherv", "scatterv"):
         for p in comm_sizes:
             for m in sizes:
                 get_algorithm(coll, fixed_decision(coll, p, m))

@@ -68,6 +68,25 @@ class VectorArgs:
     def bytes_for(self, items: int) -> float:
         return float(items) * self.item_bytes
 
+    @property
+    def msg_bytes(self) -> float:
+        """Mean modeled block size — the size coordinate for tuning rows.
+
+        Vector collectives have no single message size; selection tables,
+        cell specs, and trace spans index on the mean per-block wire bytes
+        so skewed and uniform schedules with equal volume land on the same
+        row.
+        """
+        arr = np.asarray(self.counts, dtype=float)
+        if arr.size == 0:
+            return 0.0
+        return float(arr.mean()) * self.item_bytes
+
+    @property
+    def total_items(self) -> int:
+        arr = np.asarray(self.counts, dtype=int)
+        return int(arr.sum()) if arr.size else 0
+
 
 def _check_blocks(data, counts_row, name: str) -> list[np.ndarray]:
     if len(data) != len(counts_row):

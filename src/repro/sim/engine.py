@@ -260,6 +260,7 @@ class Request:
         "eager",
         "arrival",
         "tx_time",
+        "activity",
     )
 
     def __init__(self, kind: int, owner: int, peer: int, tag: int, nbytes: int) -> None:
@@ -268,6 +269,10 @@ class Request:
         self.peer = peer
         self.tag = tag
         self.nbytes = nbytes
+        # Activity label of the sending fiber at post time (send requests
+        # only); link records claimed at delivery/extraction time read it so
+        # interleaved jobs keep their own attribution.
+        self.activity: str | None = None
         self.complete_time: float | None = None
         self.payload: Any = None
         self.source_rank: int | None = None
@@ -327,6 +332,7 @@ class _Fiber:
         "wait_epoch",
         "wait_pending",
         "wait_deadline",
+        "activity",
     )
 
     def __init__(self, proc: "_Proc", gen: Iterator[Any] | None, now: float) -> None:
@@ -351,6 +357,10 @@ class _Fiber:
         self.wait_epoch = 0
         self.wait_pending = 0
         self.wait_deadline = 0.0
+        # Activity label this fiber is currently inside (None = raw p2p);
+        # restored into ``engine.activity`` on every resume so interleaved
+        # fibers (multi-job runs) do not blur each other's link attribution.
+        self.activity: str | None = None
 
     @property
     def rank(self) -> int:
@@ -591,7 +601,8 @@ class Engine:
                 elif kind == _EV_RNDV:
                     n_rndv += 1
                     proc = self.procs[a.peer]
-                    delivered = self._extract(proc, time, a.nbytes, a.owner)
+                    delivered = self._extract(proc, time, a.nbytes, a.owner,
+                                              a.activity)
                     self._finish_recv(proc, b, a, delivered)
                 else:  # _EV_START
                     n_start += 1
@@ -639,6 +650,9 @@ class Engine:
         if fiber.done:
             raise ProtocolError(f"resuming finished fiber of process {fiber.rank}")
         fiber.blocked = False
+        # Synchronous claims (post_isend) made while this fiber runs must
+        # carry *its* activity, not whichever fiber resumed last.
+        self.activity = fiber.activity
         gen = fiber.gen
         assert gen is not None
         try:
@@ -864,6 +878,7 @@ class Engine:
         req.recv_tag = None
         req.waiters = None
         req.post_time = fib.now
+        req.activity = self.activity
         fib.now += net.send_overhead
         if nbytes <= net.eager_max and not sync:
             # Inlined cost model + injection-port claim.  The link class
@@ -1127,7 +1142,7 @@ class Engine:
                             2 if group_of[msg.owner] == group_of[msg.peer]
                             else 3,
                             1, start, end, end - start, msg.nbytes, 1,
-                            start - ready, self.activity,
+                            start - ready, msg.activity,
                         ))
                     ready = end
                 else:
@@ -1149,7 +1164,7 @@ class Engine:
                                    == group_of[msg.peer] else 3)
                         recs.append((
                             msg.peer, cls, 1, start, end, end - start,
-                            msg.nbytes, 1, start - ready, self.activity,
+                            msg.nbytes, 1, start - ready, msg.activity,
                         ))
                     ready = end
             recv_req.complete_time = ready
@@ -1167,21 +1182,23 @@ class Engine:
         net = self.network
         if msg.eager:
             ready = max(recv_req.post_time, msg.arrival)
-            delivered = self._extract(proc, ready, msg.nbytes, msg.owner)
+            delivered = self._extract(proc, ready, msg.nbytes, msg.owner,
+                                      msg.activity)
             self._finish_recv(proc, recv_req, msg, delivered)
         else:
             # Rendezvous handshake: CTS back to the sender, then the data.
             src, dst = msg.owner, msg.peer
             handshake_done = max(recv_req.post_time, msg.arrival)
             cts_arrival = handshake_done + net.latency(dst, src)
-            tx_end, port = self._claim_tx(self.procs[src], dst, cts_arrival, msg.nbytes)
+            tx_end, port = self._claim_tx(self.procs[src], dst, cts_arrival,
+                                          msg.nbytes, msg.activity)
             msg.complete_time = tx_end
             self._notify_waiters(msg)
             lat = net.latency(src, dst)
             self._schedule_chained((port, lat), tx_end + lat, _EV_RNDV, msg, recv_req)
 
-    def _claim_tx(self, proc: _Proc, dst: int, ready: float,
-                  nbytes: int) -> tuple[float, int]:
+    def _claim_tx(self, proc: _Proc, dst: int, ready: float, nbytes: int,
+                  activity: str | None = None) -> tuple[float, int]:
         """Claim injection-port time: the node NIC for inter-node messages
         (when shared-NIC modelling is on), the rank's private port otherwise.
         Returns ``(grant_end, port_index)``; the port index keys the delivery
@@ -1206,7 +1223,7 @@ class Engine:
                     -1 - src_node,
                     2 if group_of[proc.rank] == group_of[dst] else 3,
                     0, start, end, end - start, nbytes, 1, start - ready,
-                    self.activity,
+                    activity,
                 ))
             return end, self.num_procs + src_node
         start = max(ready, proc.tx_free)
@@ -1224,11 +1241,12 @@ class Engine:
                 cls = 2 if group_of[proc.rank] == group_of[dst] else 3
             recs.append((
                 proc.rank, cls, 0, start, end, end - start, nbytes, 1,
-                start - ready, self.activity,
+                start - ready, activity,
             ))
         return end, proc.rank
 
-    def _extract(self, proc: _Proc, ready: float, nbytes: int, src: int) -> float:
+    def _extract(self, proc: _Proc, ready: float, nbytes: int, src: int,
+                 activity: str | None = None) -> float:
         """Serialize the message through the receiver's extraction port."""
         net = self.network
         if not net.rx_serialization:
@@ -1257,7 +1275,7 @@ class Engine:
                 cls = 2 if group_of[src] == group_of[proc.rank] else 3
             recs.append((
                 port, cls, 1, rx_start, delivered, delivered - rx_start,
-                nbytes, 1, rx_start - ready, self.activity,
+                nbytes, 1, rx_start - ready, activity,
             ))
         return delivered
 

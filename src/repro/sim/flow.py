@@ -780,6 +780,12 @@ class FlowRuntime:
             return None
         if ctx._fiber is not engine.procs[ctx.rank].fibers[0]:
             return None
+        if not hasattr(args, "count"):
+            # Vector collectives (VectorArgs: per-rank/per-pair counts) have
+            # no stepped flow plan yet; label them distinctly so workload
+            # runs do not silently read as generic "no_plan" regressions.
+            self._count_fallback(ctx, "vector", 0)
+            return None
         fn = _DESCRIPTORS.get((collective, algorithm))
         if fn is None:
             self._count_fallback(ctx, "no_plan", 0)

@@ -221,6 +221,51 @@ class TestProfile:
         err = capsys.readouterr().err
         assert "executor:" in err and "hit rate" in err
 
+    def test_workload_list_shows_builtins(self, capsys):
+        assert main(["workload", "list"]) == 0
+        out = capsys.readouterr().out
+        names = [line.split()[0] for line in out.splitlines()
+                 if line and not line.startswith(("workload", "-"))]
+        assert len(names) >= 4
+        assert "dlrm_embedding" in names
+
+    def test_workload_describe(self, capsys):
+        assert main(["workload", "describe", "allgatherv_ragged",
+                     "--ranks", "4", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "allgatherv" in out and "length-p" in out
+
+    def test_workload_run_replay_round_trip(self, capsys, tmp_path,
+                                            monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        db = tmp_path / "wl.db"
+        code = main([
+            "workload", "run", "halo_mix", "--fast",
+            "--machine", "simcluster", "--nodes", "2", "--cores", "2",
+            "--store", str(db), "--trace-out", "wl.json",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runtime" in out and "phase cell(s)" in out
+        assert db.exists() and (tmp_path / "wl.json").exists()
+        code = main(["workload", "replay", str(tmp_path / "wl.json"),
+                     "--fast", "--machine", "simcluster",
+                     "--nodes", "2", "--cores", "2", "--no-cells"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alltoall@" in out and "pattern replay:" in out
+
+    def test_workload_contend_attributes_both_jobs(self, capsys):
+        code = main([
+            "workload", "contend", "halo_mix", "dlrm_embedding", "--fast",
+            "--machine", "simcluster", "--nodes", "4", "--cores", "2",
+            "--links",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "link wait attribution by job:" in out
+        assert "job0-halo_mix" in out and "job1-dlrm_embedding" in out
+
     def test_trace_out_and_metrics_out_parse_everywhere(self):
         parser = build_parser()
         args = parser.parse_args(["fig5", "--trace-out", "t.json",

@@ -142,3 +142,68 @@ def test_alltoallv_property(p, seed, algorithm):
     for me in range(p):
         for src in range(p):
             assert np.array_equal(results[me][src], inputs[src][me])
+
+
+# --------------------------------------------------------------------- #
+# Vector collectives through the benchmark harness: patterns + parity
+# --------------------------------------------------------------------- #
+
+
+class TestVectorUnderPatterns:
+    """Vector collectives under skewed arrival patterns, both engines."""
+
+    def _bench(self, engine_mode="exact"):
+        from repro.bench import MicroBenchmark
+        from repro.sim.platform import get_machine
+
+        return MicroBenchmark.from_machine(
+            get_machine("simcluster"), nodes=4, cores_per_node=2, nrep=2,
+            engine_mode=engine_mode,
+        )
+
+    def _matrix(self, p, seed=11):
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(1, 32, size=(p, p))
+        np.fill_diagonal(counts, 0)
+        return tuple(map(tuple, counts.tolist()))
+
+    def test_pattern_reproduced_in_arrivals(self):
+        from repro.patterns import generate_pattern
+
+        bench = self._bench()
+        p = bench.num_ranks
+        pattern = generate_pattern("ascending", p, 2e-4, seed=1)
+        counts = tuple(4 * (i + 1) for i in range(p))
+        result = bench.run("allgatherv", "ring", 0.0, pattern, counts=counts)
+        for timing in result.timings:
+            assert np.allclose(timing.delays_from_first(), pattern.skews,
+                               atol=1e-9)
+
+    def test_skew_changes_vector_runtime(self):
+        from repro.patterns import generate_pattern
+
+        bench = self._bench()
+        p = bench.num_ranks
+        counts = self._matrix(p)
+        balanced = bench.run("alltoallv", "pairwise", 0.0, counts=counts)
+        skewed = bench.run(
+            "alltoallv", "pairwise", 0.0,
+            generate_pattern("last_delayed", p, 2e-3), counts=counts)
+        assert skewed.total_delay > balanced.total_delay
+
+    @pytest.mark.parametrize("collective,algorithm", [
+        ("alltoallv", "pairwise"), ("allgatherv", "ring")])
+    def test_hybrid_parity_under_skew(self, collective, algorithm):
+        """Vector phases take the exact path inside hybrid: bitwise parity."""
+        from repro.patterns import generate_pattern
+
+        exact = self._bench("exact")
+        hybrid = self._bench("hybrid")
+        p = exact.num_ranks
+        counts = (self._matrix(p) if collective == "alltoallv"
+                  else tuple(3 * (i + 1) for i in range(p)))
+        pattern = generate_pattern("bell", p, 1e-4, seed=2)
+        a = exact.run(collective, algorithm, 0.0, pattern, counts=counts)
+        b = hybrid.run(collective, algorithm, 0.0, pattern, counts=counts)
+        assert np.array_equal(a.last_delays, b.last_delays)
+        assert a.msg_bytes == b.msg_bytes

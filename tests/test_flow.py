@@ -186,6 +186,33 @@ def test_shared_contention_falls_back():
     assert rt.fallback_messages == 64 * 63
 
 
+def test_vector_args_fall_back_with_reason():
+    """Vector collectives always take the exact path, labeled reason=vector."""
+    from repro.collectives import VectorArgs, make_vector_input
+
+    p = HETERO.num_ranks
+    counts = tuple(tuple(0 if i == j else 2 for j in range(p))
+                   for i in range(p))
+    args = VectorArgs(counts=counts)
+
+    def prog(ctx):
+        data = make_vector_input("alltoallv", ctx.rank, p, args)
+        return (yield from run_collective(
+            ctx, "alltoallv", "basic_linear", args, data))
+
+    with obs.session(meta={"test": "vector_fallback"}) as octx:
+        engine = _run_flow(
+            HETERO, prog, FlowConfig(mode="hybrid", declared_spread=0.0))
+        snap = octx.metrics.snapshot()
+    rt = engine.flow_runtime
+    assert rt.batches == 0
+    # Like "no_plan", the vector early-return counts only in the labeled
+    # obs counter; the plain attribute means "a plan existed but fell back".
+    assert rt.fallback_calls == 0
+    assert snap['flow.fallback_calls{reason="vector"}']["value"] == 1
+    assert 'flow.fallback_calls{reason="no_plan"}' not in snap
+
+
 def test_unknown_spread_falls_back():
     prog = _single_collective_prog("alltoall", "basic_linear", ARGS)
     engine = _run_flow(HETERO, prog, FlowConfig(mode="hybrid", declared_spread=None))

@@ -33,9 +33,24 @@ class TestFixedDecision:
         assert fixed_decision("bcast", 32, 8) == "binomial"
         assert fixed_decision("bcast", 32, 1 << 22) == "scatter_allgather"
 
+    def test_alltoallv_thresholds(self):
+        assert fixed_decision("alltoallv", 8, 1 << 20) == "basic_linear"
+        assert fixed_decision("alltoallv", 32, 1024) == "basic_linear"
+        assert fixed_decision("alltoallv", 32, 1 << 16) == "pairwise"
+
+    def test_allgatherv_thresholds(self):
+        assert fixed_decision("allgatherv", 2, 1 << 20) == "linear"
+        assert fixed_decision("allgatherv", 32, 1024) == "linear"
+        assert fixed_decision("allgatherv", 32, 1 << 16) == "ring"
+
+    def test_rooted_vector_families_resolve(self):
+        assert fixed_decision("gatherv", 32, 4096) == "linear"
+        assert fixed_decision("scatterv", 32, 4096) == "linear"
+
     def test_size_monotone_families_have_no_gaps(self):
         """Every power-of-two size resolves for every family (no dead zones)."""
-        for coll in ("alltoall", "allreduce", "reduce", "bcast", "allgather"):
+        for coll in ("alltoall", "allreduce", "reduce", "bcast", "allgather",
+                     "alltoallv", "allgatherv", "gatherv", "scatterv"):
             for exp in range(0, 25):
                 assert fixed_decision(coll, 64, 2**exp)
 
